@@ -1,0 +1,63 @@
+"""Figure 2: recurrent rule mining — runtime and number of rules vs min_s-sup.
+
+Reproduces the Full-vs-NR comparison of Figure 2(a)/(b) at min_conf = 50% and
+min_i-sup = 1 on the scaled D5C20N10S20 dataset.  Rules of arbitrary length
+are mined, as in the paper; the threshold range is chosen so that the *full*
+baseline (whose result size explodes — that is the paper's point) still
+terminates in benchmark time on a laptop.
+"""
+
+from repro.analysis.compare import headline_ratios
+from repro.analysis.experiment import rule_sweep_vs_s_support
+from repro.analysis.reporting import format_sweep
+from repro.rules.config import RuleMiningConfig
+from repro.rules.nonredundant_miner import NonRedundantRecurrentRuleMiner
+
+from conftest import BENCH_SCALE, write_result
+
+MIN_S_SUPPORTS = [0.30, 0.25, 0.20, 0.18]
+MIN_CONFIDENCE = 0.5
+MAX_PREMISE = None
+MAX_CONSEQUENT = None
+
+
+def bench_fig2_rules_vs_ssup(benchmark, synthetic_database):
+    rows = rule_sweep_vs_s_support(
+        synthetic_database,
+        MIN_S_SUPPORTS,
+        min_confidence=MIN_CONFIDENCE,
+        min_i_support=1,
+        max_premise_length=MAX_PREMISE,
+        max_consequent_length=MAX_CONSEQUENT,
+    )
+    ratios = headline_ratios(rows)
+    text = "\n".join(
+        [
+            f"dataset: D5C20N10S20 scaled by {BENCH_SCALE}; min_conf=50%, min_i-sup=1, "
+            "rules of arbitrary length",
+            format_sweep(rows, baseline_label="Full", proposed_label="NR"),
+            f"headline: {ratios.describe('rules')}",
+            "paper:    up to 147x less runtime and 8500x fewer rules (full-size dataset)",
+        ]
+    )
+    write_result("fig2_rules_vs_ssup", text)
+
+    for row in rows:
+        assert row.proposed_count <= row.baseline_count
+    # The figure's shape: dropping min_s-sup grows the full set much faster
+    # than the non-redundant set.
+    assert rows[-1].baseline_count >= rows[0].baseline_count
+    assert rows[-1].count_ratio >= rows[0].count_ratio
+
+    config = RuleMiningConfig(
+        min_s_support=MIN_S_SUPPORTS[0],
+        min_confidence=MIN_CONFIDENCE,
+        min_i_support=1,
+        max_premise_length=MAX_PREMISE,
+        max_consequent_length=MAX_CONSEQUENT,
+    )
+    benchmark.pedantic(
+        lambda: NonRedundantRecurrentRuleMiner(config).mine(synthetic_database),
+        rounds=1,
+        iterations=1,
+    )

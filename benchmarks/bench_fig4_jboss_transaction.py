@@ -1,0 +1,60 @@
+"""Figure 4: the longest iterative pattern mined from the JBoss transaction component.
+
+Runs the closed iterative-pattern miner over the simulated transaction
+component traces and checks that the longest mined pattern is exactly the
+32-event connection / tx-manager / transaction set-up / commit / dispose
+protocol of Figure 4.  The regenerated pattern is written out block-by-block
+in the figure's layout.
+"""
+
+from repro.jboss.reference import FIGURE4_PATTERN
+from repro.patterns.closed_miner import ClosedIterativePatternMiner
+from repro.patterns.config import IterativeMiningConfig
+from repro.specs.render import render_pattern_blocks
+
+from conftest import write_result
+
+BLOCK_TITLES = (
+    "Connection Set Up",
+    "Tx Manager Set Up",
+    "Transaction Set Up",
+    "Transaction Set Up (Con't)",
+    "Transaction Commit",
+    "Transaction Commit (Con't)",
+    "Transaction Dispose",
+)
+
+MIN_SUPPORT = 12
+
+
+def _mine(database):
+    config = IterativeMiningConfig(
+        min_support=MIN_SUPPORT,
+        collect_instances=False,
+        adjacent_absorption_pruning=True,
+    )
+    return ClosedIterativePatternMiner(config).mine(database)
+
+
+def bench_fig4_jboss_transaction(benchmark, jboss_transaction_database):
+    result = _mine(jboss_transaction_database)
+    longest = result.longest()
+
+    text = "\n".join(
+        [
+            f"traces: {len(jboss_transaction_database)} simulated JBoss transaction traces, "
+            f"min_sup={MIN_SUPPORT} instances",
+            f"closed patterns mined: {len(result)}",
+            f"longest pattern: {len(longest)} events, support {longest.support}",
+            f"matches Figure 4 exactly: {longest.events == FIGURE4_PATTERN}",
+            "",
+            render_pattern_blocks(longest.events, BLOCK_TITLES, block_size=5),
+        ]
+    )
+    write_result("fig4_jboss_transaction", text)
+
+    assert result.contains(FIGURE4_PATTERN)
+    assert longest.events == FIGURE4_PATTERN
+    assert len(longest) == 32
+
+    benchmark.pedantic(lambda: _mine(jboss_transaction_database), rounds=1, iterations=1)

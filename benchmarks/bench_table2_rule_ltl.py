@@ -1,0 +1,49 @@
+"""Table 2: rules and their LTL equivalences.
+
+Regenerates the four rows of Table 2 (rule notation -> LTL notation) via
+:func:`repro.ltl.translate.rule_to_ltl`, checks them against the paper's
+formulae, and benchmarks the round trip rule -> LTL -> rule.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core.pattern import format_pattern
+from repro.ltl.translate import ltl_to_rule, rule_to_ltl
+
+from conftest import write_result
+
+TABLE2_RULES = [
+    (("a",), ("b",)),
+    (("a", "b"), ("c",)),
+    (("a",), ("b", "c")),
+    (("a", "b"), ("c", "d")),
+]
+
+PAPER_LTL = [
+    "G((a -> XF(b)))",
+    "G((a -> XG((b -> XF(c)))))",
+    "G((a -> XF((b /\\ XF(c)))))",
+    "G((a -> XG((b -> XF((c /\\ XF(d)))))))",
+]
+
+
+def bench_table2_rule_ltl(benchmark):
+    rows = []
+    for premise, consequent in TABLE2_RULES:
+        formula = rule_to_ltl(premise, consequent)
+        rows.append(
+            {
+                "Notation": f"{format_pattern(premise)} -> {format_pattern(consequent)}",
+                "LTL Notation": str(formula),
+            }
+        )
+    write_result("table2_rule_ltl", format_table(rows))
+
+    for row, expected in zip(rows, PAPER_LTL):
+        assert row["LTL Notation"] == expected
+    for premise, consequent in TABLE2_RULES:
+        assert ltl_to_rule(rule_to_ltl(premise, consequent)) == (premise, consequent)
+
+    def round_trip():
+        return [ltl_to_rule(rule_to_ltl(p, c)) for p, c in TABLE2_RULES]
+
+    benchmark.pedantic(round_trip, rounds=5, iterations=1)

@@ -1,0 +1,61 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper.  The synthetic
+dataset is the paper's D5C20N10S20 profile scaled by ``REPRO_BENCH_SCALE``
+(default 0.02 so the whole suite finishes on a laptop; set it to 1.0 for a
+paper-sized run).  Each benchmark prints the regenerated rows/series and also
+writes them to ``benchmarks/results/<name>.txt`` so the output survives
+pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.datagen.profiles import PAPER_PROFILE, generate_profile
+from repro.jboss.workloads import (
+    SecurityWorkloadConfig,
+    TransactionWorkloadConfig,
+    generate_security_traces,
+    generate_transaction_traces,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Scale applied to the paper's D5C20N10S20 profile (D and N shrink, C and S stay).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+
+
+def write_result(name: str, text: str) -> None:
+    """Print a benchmark's regenerated rows and persist them under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n=== {name} ===\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def synthetic_database():
+    """The scaled D5C20N10S20 dataset used by Figures 1-3."""
+    return generate_profile(PAPER_PROFILE, scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def jboss_transaction_database():
+    """Simulated JBoss transaction-component traces (Figure 4 case study)."""
+    config = TransactionWorkloadConfig(
+        num_traces=24,
+        min_transactions_per_trace=1,
+        max_transactions_per_trace=1,
+        rollback_probability=0.25,
+        seed=77,
+    )
+    return generate_transaction_traces(config)
+
+
+@pytest.fixture(scope="session")
+def jboss_security_database():
+    """Simulated JBoss security-component traces (Figure 5 case study)."""
+    return generate_security_traces(SecurityWorkloadConfig(num_traces=24, seed=99))

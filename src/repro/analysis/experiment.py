@@ -1,0 +1,169 @@
+"""Threshold-sweep experiment harness.
+
+The benchmark modules regenerate the paper's Figures 1–3 by sweeping the
+relevant threshold and, at each point, running the baseline (full) and the
+proposed (closed / non-redundant) miner on the same database.  This module
+holds the sweep drivers so benchmarks, examples and the CLI all share the
+same code path and produce identically shaped rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence as TypingSequence
+
+from ..core.sequence import SequenceDatabase
+from ..core.stats import Timer
+from ..patterns.closed_miner import ClosedIterativePatternMiner
+from ..patterns.config import IterativeMiningConfig
+from ..patterns.full_miner import FullIterativePatternMiner
+from ..rules.config import RuleMiningConfig
+from ..rules.full_miner import FullRecurrentRuleMiner
+from ..rules.nonredundant_miner import NonRedundantRecurrentRuleMiner
+
+
+@dataclass
+class SweepRow:
+    """One row of a Figure 1/2/3 style comparison."""
+
+    threshold_name: str
+    threshold: float
+    baseline_runtime: float
+    baseline_count: int
+    proposed_runtime: float
+    proposed_count: int
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def runtime_ratio(self) -> float:
+        """Baseline runtime divided by proposed runtime (>1 means proposed is faster)."""
+        if self.proposed_runtime <= 0:
+            return float("inf")
+        return self.baseline_runtime / self.proposed_runtime
+
+    @property
+    def count_ratio(self) -> float:
+        """Baseline result count divided by proposed result count."""
+        if self.proposed_count <= 0:
+            return float("inf")
+        return self.baseline_count / self.proposed_count
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary view used by the reporting helpers."""
+        row = {
+            self.threshold_name: self.threshold,
+            "baseline_runtime_s": self.baseline_runtime,
+            "baseline_count": float(self.baseline_count),
+            "proposed_runtime_s": self.proposed_runtime,
+            "proposed_count": float(self.proposed_count),
+            "runtime_ratio": self.runtime_ratio,
+            "count_ratio": self.count_ratio,
+        }
+        row.update(self.extra)
+        return row
+
+
+def iterative_pattern_sweep(
+    database: SequenceDatabase,
+    min_supports: TypingSequence[float],
+    max_pattern_length: Optional[int] = None,
+    closed_uses_absorption_pruning: bool = True,
+) -> List[SweepRow]:
+    """Figure 1: full vs closed iterative pattern mining across ``min_supports``."""
+    rows: List[SweepRow] = []
+    for min_support in min_supports:
+        full_config = IterativeMiningConfig(
+            min_support=min_support,
+            max_pattern_length=max_pattern_length,
+            collect_instances=False,
+        )
+        closed_config = IterativeMiningConfig(
+            min_support=min_support,
+            max_pattern_length=max_pattern_length,
+            collect_instances=False,
+            adjacent_absorption_pruning=closed_uses_absorption_pruning,
+        )
+        with Timer() as full_timer:
+            full_result = FullIterativePatternMiner(full_config).mine(database)
+        with Timer() as closed_timer:
+            closed_result = ClosedIterativePatternMiner(closed_config).mine(database)
+        rows.append(
+            SweepRow(
+                threshold_name="min_sup",
+                threshold=min_support,
+                baseline_runtime=full_timer.seconds,
+                baseline_count=len(full_result),
+                proposed_runtime=closed_timer.seconds,
+                proposed_count=len(closed_result),
+                extra={
+                    "full_visited": float(full_result.stats.visited),
+                    "closed_visited": float(closed_result.stats.visited),
+                },
+            )
+        )
+    return rows
+
+
+def _rule_sweep_row(
+    database: SequenceDatabase, threshold_name: str, threshold: float, config: RuleMiningConfig
+) -> SweepRow:
+    with Timer() as full_timer:
+        full_result = FullRecurrentRuleMiner(config).mine(database)
+    with Timer() as nr_timer:
+        nr_result = NonRedundantRecurrentRuleMiner(config).mine(database)
+    return SweepRow(
+        threshold_name=threshold_name,
+        threshold=threshold,
+        baseline_runtime=full_timer.seconds,
+        baseline_count=len(full_result),
+        proposed_runtime=nr_timer.seconds,
+        proposed_count=len(nr_result),
+        extra={
+            "full_visited": float(full_result.stats.visited),
+            "nr_visited": float(nr_result.stats.visited),
+        },
+    )
+
+
+def rule_sweep_vs_s_support(
+    database: SequenceDatabase,
+    min_s_supports: TypingSequence[float],
+    min_confidence: float = 0.5,
+    min_i_support: int = 1,
+    max_premise_length: Optional[int] = None,
+    max_consequent_length: Optional[int] = None,
+) -> List[SweepRow]:
+    """Figure 2: full vs non-redundant rule mining across ``min_s-sup`` values."""
+    rows: List[SweepRow] = []
+    for min_s_support in min_s_supports:
+        config = RuleMiningConfig(
+            min_s_support=min_s_support,
+            min_i_support=min_i_support,
+            min_confidence=min_confidence,
+            max_premise_length=max_premise_length,
+            max_consequent_length=max_consequent_length,
+        )
+        rows.append(_rule_sweep_row(database, "min_s_sup", min_s_support, config))
+    return rows
+
+
+def rule_sweep_vs_confidence(
+    database: SequenceDatabase,
+    min_confidences: TypingSequence[float],
+    min_s_support: float = 2.0,
+    min_i_support: int = 1,
+    max_premise_length: Optional[int] = None,
+    max_consequent_length: Optional[int] = None,
+) -> List[SweepRow]:
+    """Figure 3: full vs non-redundant rule mining across ``min_conf`` values."""
+    rows: List[SweepRow] = []
+    for min_confidence in min_confidences:
+        config = RuleMiningConfig(
+            min_s_support=min_s_support,
+            min_i_support=min_i_support,
+            min_confidence=min_confidence,
+            max_premise_length=max_premise_length,
+            max_consequent_length=max_consequent_length,
+        )
+        rows.append(_rule_sweep_row(database, "min_conf", min_confidence, config))
+    return rows

@@ -1,0 +1,200 @@
+"""Command-line interface: ``repro-mine``.
+
+Sub-commands cover the full workflow of the paper:
+
+* ``generate``     — create a synthetic QUEST-style dataset (Section 6);
+* ``jboss``        — produce the simulated JBoss case-study traces (Section 7);
+* ``mine-patterns``— mine frequent / closed iterative patterns (Section 4);
+* ``mine-rules``   — mine full / non-redundant recurrent rules (Section 5);
+* ``monitor``      — check a specification repository against traces.
+
+Every command reads and writes the trace formats of :mod:`repro.traces.io`
+and prints small plain-text reports; mined specifications can be saved as a
+JSON repository (see :class:`repro.specs.SpecificationRepository`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.reporting import format_table
+from .datagen.profiles import PAPER_PROFILE, generate_profile
+from .jboss.workloads import (
+    generate_case_study_traces,
+    generate_security_traces,
+    generate_transaction_traces,
+)
+from .patterns.closed_miner import ClosedIterativePatternMiner
+from .patterns.config import IterativeMiningConfig
+from .patterns.full_miner import FullIterativePatternMiner
+from .rules.config import RuleMiningConfig
+from .rules.full_miner import FullRecurrentRuleMiner
+from .rules.nonredundant_miner import NonRedundantRecurrentRuleMiner
+from .specs.repository import SpecificationRepository
+from .traces.io import read_traces, write_traces
+from .verification.monitor import RuleMonitor
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mine",
+        description="Mine iterative patterns and recurrent rules from program traces.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic dataset")
+    generate.add_argument("--profile", default=PAPER_PROFILE, help="D/C/N/S profile name")
+    generate.add_argument("--scale", type=float, default=0.1, help="scale factor for D and N")
+    generate.add_argument("--seed", type=int, default=None, help="random seed override")
+    generate.add_argument("--output", required=True, help="output trace file")
+    generate.add_argument("--format", default=None, help="text | jsonl | csv")
+
+    jboss = subparsers.add_parser("jboss", help="generate the simulated JBoss case-study traces")
+    jboss.add_argument(
+        "--component",
+        choices=["transaction", "security", "both"],
+        default="both",
+        help="which simulated component to exercise",
+    )
+    jboss.add_argument("--output", required=True, help="output trace file")
+    jboss.add_argument("--format", default=None, help="text | jsonl | csv")
+
+    patterns = subparsers.add_parser("mine-patterns", help="mine iterative patterns")
+    patterns.add_argument("--input", required=True, help="input trace file")
+    patterns.add_argument("--format", default=None, help="text | jsonl | csv")
+    patterns.add_argument("--min-support", type=float, default=2.0)
+    patterns.add_argument("--max-length", type=int, default=None)
+    patterns.add_argument("--full", action="store_true", help="mine all frequent patterns")
+    patterns.add_argument("--top", type=int, default=20, help="how many patterns to print")
+    patterns.add_argument("--save", default=None, help="save results to a JSON repository")
+
+    rules = subparsers.add_parser("mine-rules", help="mine recurrent rules")
+    rules.add_argument("--input", required=True, help="input trace file")
+    rules.add_argument("--format", default=None, help="text | jsonl | csv")
+    rules.add_argument("--min-s-support", type=float, default=2.0)
+    rules.add_argument("--min-i-support", type=int, default=1)
+    rules.add_argument("--min-confidence", type=float, default=0.5)
+    rules.add_argument("--max-premise-length", type=int, default=None)
+    rules.add_argument("--max-consequent-length", type=int, default=None)
+    rules.add_argument("--full", action="store_true", help="mine the full (redundant) rule set")
+    rules.add_argument("--top", type=int, default=20, help="how many rules to print")
+    rules.add_argument("--save", default=None, help="save results to a JSON repository")
+
+    monitor = subparsers.add_parser("monitor", help="check rules against traces")
+    monitor.add_argument("--input", required=True, help="input trace file")
+    monitor.add_argument("--format", default=None, help="text | jsonl | csv")
+    monitor.add_argument("--specs", required=True, help="JSON specification repository")
+    monitor.add_argument("--max-violations", type=int, default=10, help="violations to print")
+
+    return parser
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    database = generate_profile(args.profile, scale=args.scale, seed=args.seed)
+    write_traces(database, args.output, format=args.format)
+    stats = database.describe()
+    print(f"wrote {int(stats['sequences'])} sequences ({int(stats['events'])} events) to {args.output}")
+    return 0
+
+
+def _command_jboss(args: argparse.Namespace) -> int:
+    if args.component == "transaction":
+        database = generate_transaction_traces()
+    elif args.component == "security":
+        database = generate_security_traces()
+    else:
+        database = generate_case_study_traces()
+    write_traces(database, args.output, format=args.format)
+    print(f"wrote {len(database)} JBoss {args.component} traces to {args.output}")
+    return 0
+
+
+def _command_mine_patterns(args: argparse.Namespace) -> int:
+    database = read_traces(args.input, format=args.format)
+    config = IterativeMiningConfig(
+        min_support=args.min_support,
+        max_pattern_length=args.max_length,
+        collect_instances=False,
+        adjacent_absorption_pruning=not args.full,
+    )
+    miner = FullIterativePatternMiner(config) if args.full else ClosedIterativePatternMiner(config)
+    result = miner.mine(database)
+    kind = "frequent" if args.full else "closed"
+    print(
+        f"mined {len(result)} {kind} iterative patterns "
+        f"(min_sup={result.min_support}, {result.stats.elapsed_seconds:.2f}s)"
+    )
+    print(format_table(result.as_rows()[: args.top], columns=["support", "length", "events"]))
+    if args.save:
+        repository = SpecificationRepository(name=f"{kind}-patterns")
+        repository.add_pattern_result(result)
+        repository.save(args.save)
+        print(f"saved {len(result)} patterns to {args.save}")
+    return 0
+
+
+def _command_mine_rules(args: argparse.Namespace) -> int:
+    database = read_traces(args.input, format=args.format)
+    config = RuleMiningConfig(
+        min_s_support=args.min_s_support,
+        min_i_support=args.min_i_support,
+        min_confidence=args.min_confidence,
+        max_premise_length=args.max_premise_length,
+        max_consequent_length=args.max_consequent_length,
+    )
+    miner = FullRecurrentRuleMiner(config) if args.full else NonRedundantRecurrentRuleMiner(config)
+    result = miner.mine(database)
+    kind = "significant" if args.full else "non-redundant"
+    print(
+        f"mined {len(result)} {kind} recurrent rules "
+        f"(min_s_sup={result.min_s_support}, min_conf={result.min_confidence}, "
+        f"{result.stats.elapsed_seconds:.2f}s)"
+    )
+    print(
+        format_table(
+            result.as_rows()[: args.top],
+            columns=["confidence", "s_support", "i_support", "premise", "consequent"],
+        )
+    )
+    if args.save:
+        repository = SpecificationRepository(name=f"{kind}-rules")
+        repository.add_rule_result(result)
+        repository.save(args.save)
+        print(f"saved {len(result)} rules to {args.save}")
+    return 0
+
+
+def _command_monitor(args: argparse.Namespace) -> int:
+    database = read_traces(args.input, format=args.format)
+    repository = SpecificationRepository.load(args.specs)
+    if not repository.rules:
+        print("the specification repository contains no rules to monitor", file=sys.stderr)
+        return 2
+    monitor = RuleMonitor(repository.rules)
+    report = monitor.check_database(database)
+    print(report.summary())
+    for violation in report.violations[: args.max_violations]:
+        print(f"  VIOLATION {violation.describe()}")
+    return 0 if report.violation_count == 0 else 1
+
+
+_COMMANDS = {
+    "generate": _command_generate,
+    "jboss": _command_jboss,
+    "mine-patterns": _command_mine_patterns,
+    "mine-rules": _command_mine_rules,
+    "monitor": _command_monitor,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro-mine`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Core substrate: events, sequences, databases and iterative-pattern semantics.
+
+The :mod:`repro.core` package holds everything shared by the two mining
+techniques of the paper (iterative patterns, recurrent rules) and by the
+baseline miners: the event vocabulary, sequence database, per-event position
+indexes, the QRE instance semantics of Definition 4.1, pattern algebra and
+mining statistics.
+"""
+
+from .errors import (
+    ConfigurationError,
+    DataFormatError,
+    MonitoringError,
+    PatternError,
+    ReproError,
+    VocabularyError,
+)
+from .events import EventId, EventLabel, EventVocabulary
+from .instances import (
+    PatternInstance,
+    find_instances,
+    find_instances_in_sequence,
+    instance_support,
+    instances_correspond,
+    sequence_support,
+)
+from .pattern import (
+    alphabet,
+    as_pattern,
+    concat,
+    first,
+    format_pattern,
+    is_proper_subsequence,
+    is_subsequence,
+    is_supersequence,
+    last,
+    prefixes,
+    subpatterns,
+    suffixes,
+)
+from .positions import PositionIndex, SequencePositions
+from .sequence import Sequence, SequenceDatabase
+from .stats import MiningStats, Timer
+
+__all__ = [
+    "ConfigurationError",
+    "DataFormatError",
+    "MonitoringError",
+    "PatternError",
+    "ReproError",
+    "VocabularyError",
+    "EventId",
+    "EventLabel",
+    "EventVocabulary",
+    "PatternInstance",
+    "find_instances",
+    "find_instances_in_sequence",
+    "instance_support",
+    "instances_correspond",
+    "sequence_support",
+    "alphabet",
+    "as_pattern",
+    "concat",
+    "first",
+    "format_pattern",
+    "is_proper_subsequence",
+    "is_subsequence",
+    "is_supersequence",
+    "last",
+    "prefixes",
+    "subpatterns",
+    "suffixes",
+    "PositionIndex",
+    "SequencePositions",
+    "Sequence",
+    "SequenceDatabase",
+    "MiningStats",
+    "Timer",
+]

@@ -1,0 +1,37 @@
+"""Exception hierarchy shared across the library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+applications embedding the library can catch a single base class.  The more
+specific subclasses distinguish configuration problems (bad thresholds),
+malformed input data and serialization issues.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A mining or generation configuration is invalid.
+
+    Raised, for example, for a negative support threshold, a confidence
+    outside ``[0, 1]`` or an empty pattern-length bound.
+    """
+
+
+class DataFormatError(ReproError):
+    """Input data (a trace file, a sequence database dump) is malformed."""
+
+
+class VocabularyError(ReproError):
+    """An event is not present in an :class:`~repro.core.events.EventVocabulary`."""
+
+
+class PatternError(ReproError):
+    """A pattern or rule value is structurally invalid (e.g. empty premise)."""
+
+
+class MonitoringError(ReproError):
+    """Runtime monitoring was asked to check an unsupported specification."""

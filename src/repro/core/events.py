@@ -1,0 +1,105 @@
+"""Event vocabulary: interning of event labels to dense integer identifiers.
+
+The public API of the library works with arbitrary hashable event labels
+(normally strings such as ``"TxManager.begin"``).  Internally the miners
+work over dense integer identifiers: comparisons are cheaper, sequences can
+be stored as compact tuples of ``int`` and per-event position indexes can be
+plain lists.  :class:`EventVocabulary` provides the two-way mapping.
+
+The vocabulary is append-only.  Encoding an unknown label either registers
+it (the default, used while building a database) or raises
+:class:`~repro.core.errors.VocabularyError` (used when decoding a query
+pattern against an already-built database).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Sequence as TypingSequence, Tuple
+
+from .errors import VocabularyError
+
+EventLabel = Hashable
+EventId = int
+
+
+class EventVocabulary:
+    """A bijective mapping between event labels and dense integer ids.
+
+    Example
+    -------
+    >>> vocab = EventVocabulary()
+    >>> vocab.intern("lock")
+    0
+    >>> vocab.intern("unlock")
+    1
+    >>> vocab.intern("lock")
+    0
+    >>> vocab.label_of(1)
+    'unlock'
+    """
+
+    __slots__ = ("_label_to_id", "_labels")
+
+    def __init__(self, labels: Iterable[EventLabel] = ()) -> None:
+        self._label_to_id: Dict[EventLabel, EventId] = {}
+        self._labels: List[EventLabel] = []
+        for label in labels:
+            self.intern(label)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, label: EventLabel) -> bool:
+        return label in self._label_to_id
+
+    def __iter__(self) -> Iterator[EventLabel]:
+        return iter(self._labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"EventVocabulary(size={len(self)})"
+
+    def intern(self, label: EventLabel) -> EventId:
+        """Return the id for ``label``, registering it if unseen."""
+        existing = self._label_to_id.get(label)
+        if existing is not None:
+            return existing
+        new_id = len(self._labels)
+        self._label_to_id[label] = new_id
+        self._labels.append(label)
+        return new_id
+
+    def id_of(self, label: EventLabel) -> EventId:
+        """Return the id for ``label`` or raise :class:`VocabularyError`."""
+        try:
+            return self._label_to_id[label]
+        except KeyError:
+            raise VocabularyError(f"unknown event label: {label!r}") from None
+
+    def label_of(self, event_id: EventId) -> EventLabel:
+        """Return the label registered for ``event_id``."""
+        if 0 <= event_id < len(self._labels):
+            return self._labels[event_id]
+        raise VocabularyError(f"unknown event id: {event_id}")
+
+    def encode(self, labels: TypingSequence[EventLabel], register: bool = False) -> Tuple[EventId, ...]:
+        """Encode a series of labels into a tuple of ids.
+
+        Parameters
+        ----------
+        labels:
+            The labels to encode, in order.
+        register:
+            When ``True`` unknown labels are interned; when ``False`` an
+            unknown label raises :class:`VocabularyError`.
+        """
+        if register:
+            return tuple(self.intern(label) for label in labels)
+        return tuple(self.id_of(label) for label in labels)
+
+    def decode(self, event_ids: TypingSequence[EventId]) -> Tuple[EventLabel, ...]:
+        """Decode a series of ids back into their labels."""
+        return tuple(self.label_of(event_id) for event_id in event_ids)
+
+    def labels(self) -> Tuple[EventLabel, ...]:
+        """All labels, indexed by their ids."""
+        return tuple(self._labels)

@@ -1,0 +1,191 @@
+"""Iterative-pattern instance semantics (Definition 4.1, QRE).
+
+Given a pattern ``P = <p1, ..., pn>``, a substring ``S[start..end]`` of a
+sequence ``S`` is an *instance* of ``P`` iff it matches the quantified
+regular expression
+
+    ``p1 ; [-p1,...,pn]* ; p2 ; ... ; [-p1,...,pn]* ; pn``
+
+that is: the substring starts with ``p1``, ends with ``pn``, and the events
+of the pattern's alphabet occurring inside the substring are exactly
+``p1, ..., pn`` in that order (events outside the alphabet may appear freely
+in the gaps).  This mirrors the total-ordering and one-to-one correspondence
+requirements of MSC/LSC discussed in Section 3.2.
+
+Two useful structural facts follow directly from the definition and are
+relied upon throughout the mining code (and are exercised by the property
+tests):
+
+* an instance is uniquely determined by its start position — from a given
+  start the sequence of alphabet events is fixed, so at most one end
+  position can complete an instance;
+* symmetrically, an instance is uniquely determined by its end position.
+
+The functions in this module form the *oracle* implementation: a direct,
+obviously-correct translation of the definition, used by the verification
+layer and by the tests to validate the incremental projected-database
+computation performed inside the miners.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Sequence as TypingSequence, Tuple
+
+from .errors import PatternError
+
+
+class PatternInstance(NamedTuple):
+    """An instance of an iterative pattern.
+
+    Attributes
+    ----------
+    sequence_index:
+        Index of the sequence in the database the instance occurs in.
+    start:
+        0-based position of the first pattern event.
+    end:
+        0-based position of the last pattern event (inclusive).
+    """
+
+    sequence_index: int
+    start: int
+    end: int
+
+    def corresponds_to(self, other: "PatternInstance") -> bool:
+        """Definition 4.2 correspondence: ``self`` is nested inside ``other``.
+
+        An instance of ``P`` corresponds to an instance of ``Q`` when both
+        occur in the same sequence and the ``P`` instance's span lies within
+        the ``Q`` instance's span.
+        """
+        return (
+            self.sequence_index == other.sequence_index
+            and self.start >= other.start
+            and self.end <= other.end
+        )
+
+
+def find_instances_in_sequence(
+    sequence: TypingSequence, pattern: TypingSequence
+) -> List[Tuple[int, int]]:
+    """All ``(start, end)`` instance spans of ``pattern`` in ``sequence``.
+
+    Direct implementation of the QRE of Definition 4.1.  Runs in
+    ``O(len(sequence) * len(pattern))`` in the worst case which is perfectly
+    adequate for an oracle; the miners use an incremental formulation.
+    """
+    if not pattern:
+        raise PatternError("cannot search for an empty pattern")
+    pattern = tuple(pattern)
+    pattern_alphabet = frozenset(pattern)
+    first_event = pattern[0]
+    spans: List[Tuple[int, int]] = []
+    for start, event in enumerate(sequence):
+        if event != first_event:
+            continue
+        span = _try_match_from(sequence, pattern, pattern_alphabet, start)
+        if span is not None:
+            spans.append(span)
+    return spans
+
+
+def _try_match_from(
+    sequence: TypingSequence,
+    pattern: Tuple,
+    pattern_alphabet: frozenset,
+    start: int,
+) -> Tuple[int, int] or None:
+    """Match the QRE starting exactly at ``start``; return the span or ``None``."""
+    expected_index = 1
+    if len(pattern) == 1:
+        return (start, start)
+    for position in range(start + 1, len(sequence)):
+        event = sequence[position]
+        if event == pattern[expected_index]:
+            expected_index += 1
+            if expected_index == len(pattern):
+                return (start, position)
+        elif event in pattern_alphabet:
+            # An alphabet event out of order breaks the one-to-one
+            # correspondence requirement: no instance starts at ``start``.
+            return None
+    return None
+
+
+def find_instances(
+    encoded_sequences: TypingSequence[TypingSequence], pattern: TypingSequence
+) -> List[PatternInstance]:
+    """All instances of ``pattern`` across a database of sequences."""
+    instances: List[PatternInstance] = []
+    for sequence_index, sequence in enumerate(encoded_sequences):
+        for start, end in find_instances_in_sequence(sequence, pattern):
+            instances.append(PatternInstance(sequence_index, start, end))
+    return instances
+
+
+def instance_support(
+    encoded_sequences: TypingSequence[TypingSequence], pattern: TypingSequence
+) -> int:
+    """The support of ``pattern``: its total number of instances in the database."""
+    return len(find_instances(encoded_sequences, pattern))
+
+
+def sequence_support(
+    encoded_sequences: TypingSequence[TypingSequence], pattern: TypingSequence
+) -> int:
+    """Number of sequences containing at least one instance of ``pattern``."""
+    count = 0
+    for sequence in encoded_sequences:
+        if find_instances_in_sequence(sequence, pattern):
+            count += 1
+    return count
+
+
+def instances_correspond(
+    sub_instances: Iterable[PatternInstance], super_instances: Iterable[PatternInstance]
+) -> bool:
+    """Check the Definition 4.2 correspondence between two instance sets.
+
+    Every instance of the sub-pattern must be nested inside a *unique*
+    instance of the super-pattern.  Because instances of a pattern are
+    uniquely determined by their start (and end) positions, nesting inside
+    distinct super-instances is automatic once each sub-instance finds some
+    enclosing super-instance with the same start-or-end discipline; we still
+    enforce uniqueness explicitly to stay faithful to the definition.
+    """
+    super_by_sequence: Dict[int, List[PatternInstance]] = {}
+    for instance in super_instances:
+        super_by_sequence.setdefault(instance.sequence_index, []).append(instance)
+    used: set = set()
+    for sub in sub_instances:
+        candidates = super_by_sequence.get(sub.sequence_index, [])
+        match = None
+        for candidate in candidates:
+            if sub.corresponds_to(candidate) and candidate not in used:
+                match = candidate
+                break
+        if match is None:
+            return False
+        used.add(match)
+    return True
+
+
+def gap_events(
+    sequence: TypingSequence, pattern: TypingSequence, span: Tuple[int, int]
+) -> Iterator[Tuple[int, int]]:
+    """Yield ``(gap_index, position)`` for every non-pattern event inside an instance.
+
+    ``gap_index`` is the index of the gap the event falls into: gap ``i``
+    lies between pattern events ``i-1`` and ``i`` (so gaps are numbered
+    ``1 .. len(pattern)-1``).  Used by the closure checks (infix extensions).
+    """
+    pattern = tuple(pattern)
+    pattern_alphabet = frozenset(pattern)
+    start, end = span
+    expected_index = 1
+    for position in range(start + 1, end + 1):
+        event = sequence[position]
+        if expected_index < len(pattern) and event == pattern[expected_index]:
+            expected_index += 1
+        elif event not in pattern_alphabet:
+            yield (expected_index, position)

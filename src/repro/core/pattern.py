@@ -1,0 +1,119 @@
+"""Pattern algebra: subsequence tests, concatenation and helpers.
+
+A *pattern* in this library is simply a tuple of events (labels or encoded
+ids — the functions here are agnostic).  This module collects the small
+algebraic operations from Section 3.1 of the paper:
+
+* the subsequence relation ``P1 ⊑ P2`` (:func:`is_subsequence`),
+* pattern concatenation ``P1 ++ P2`` (:func:`concat`),
+* ``first(P)`` / ``last(P)`` accessors,
+* enumeration of all (contiguous and non-contiguous) subpatterns, used by
+  the redundancy filters and by the test oracles.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator, Sequence as TypingSequence, Set, Tuple, TypeVar
+
+from .errors import PatternError
+
+Event = TypeVar("Event")
+Pattern = Tuple[Event, ...]
+
+
+def as_pattern(events: TypingSequence[Event]) -> Pattern:
+    """Normalise any sequence of events into the canonical tuple form."""
+    return tuple(events)
+
+
+def first(pattern: TypingSequence[Event]) -> Event:
+    """``first(P)``: the first event of a non-empty pattern."""
+    if not pattern:
+        raise PatternError("first() of an empty pattern")
+    return pattern[0]
+
+
+def last(pattern: TypingSequence[Event]) -> Event:
+    """``last(P)``: the last event of a non-empty pattern."""
+    if not pattern:
+        raise PatternError("last() of an empty pattern")
+    return pattern[-1]
+
+
+def concat(*patterns: TypingSequence[Event]) -> Pattern:
+    """``P1 ++ P2 ++ ...``: concatenation of patterns."""
+    result: Tuple[Event, ...] = ()
+    for pattern in patterns:
+        result = result + tuple(pattern)
+    return result
+
+
+def is_subsequence(candidate: TypingSequence[Event], container: TypingSequence[Event]) -> bool:
+    """Whether ``candidate ⊑ container`` (Section 3.1).
+
+    ``P1`` is a subsequence of ``P2`` when the events of ``P1`` appear in
+    ``P2`` in the same order, not necessarily contiguously.  The empty
+    pattern is a subsequence of everything.
+    """
+    if len(candidate) > len(container):
+        return False
+    position = 0
+    for event in container:
+        if position == len(candidate):
+            return True
+        if event == candidate[position]:
+            position += 1
+    return position == len(candidate)
+
+
+def is_proper_subsequence(candidate: TypingSequence[Event], container: TypingSequence[Event]) -> bool:
+    """``candidate ⊑ container`` and the two patterns differ."""
+    return tuple(candidate) != tuple(container) and is_subsequence(candidate, container)
+
+
+def is_supersequence(candidate: TypingSequence[Event], contained: TypingSequence[Event]) -> bool:
+    """Whether ``candidate`` is a super-sequence of ``contained``."""
+    return is_subsequence(contained, candidate)
+
+
+def alphabet(pattern: TypingSequence[Event]) -> Set[Event]:
+    """The set of distinct events occurring in ``pattern``."""
+    return set(pattern)
+
+
+def subpatterns(pattern: TypingSequence[Event], include_empty: bool = False) -> Iterator[Pattern]:
+    """Yield every subsequence of ``pattern`` (exponential — test oracle only).
+
+    Duplicate subsequences arising from repeated events are yielded once.
+    """
+    pattern = tuple(pattern)
+    seen: Set[Pattern] = set()
+    lengths: Iterable[int] = range(0 if include_empty else 1, len(pattern) + 1)
+    for length in lengths:
+        for indices in combinations(range(len(pattern)), length):
+            candidate = tuple(pattern[index] for index in indices)
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def prefixes(pattern: TypingSequence[Event], proper: bool = True) -> Iterator[Pattern]:
+    """Yield the non-empty prefixes of ``pattern`` (shortest first)."""
+    pattern = tuple(pattern)
+    end = len(pattern) if not proper else len(pattern) - 1
+    for length in range(1, end + 1):
+        yield pattern[:length]
+
+
+def suffixes(pattern: TypingSequence[Event], proper: bool = True) -> Iterator[Pattern]:
+    """Yield the non-empty suffixes of ``pattern`` (shortest first)."""
+    pattern = tuple(pattern)
+    end = len(pattern) if not proper else len(pattern) - 1
+    for length in range(1, end + 1):
+        yield pattern[len(pattern) - length:]
+
+
+def format_pattern(pattern: TypingSequence[Event]) -> str:
+    """Render a pattern in the paper's angle-bracket notation."""
+    return "<" + ", ".join(str(event) for event in pattern) + ">"

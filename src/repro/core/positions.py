@@ -1,0 +1,116 @@
+"""Per-sequence, per-event sorted position indexes.
+
+The incremental miners repeatedly ask two questions about a sequence:
+
+* "where is the first occurrence of event ``e`` strictly after position
+  ``p``?" (forward extension), and
+* "does event ``e`` occur anywhere inside the open interval ``(lo, hi)``?"
+  (gap checks for the QRE instance semantics).
+
+Both are answered in ``O(log L)`` by keeping, for every event id, the sorted
+list of its positions in the sequence.  :class:`PositionIndex` builds and
+caches those lists for a whole encoded database.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional, Sequence as TypingSequence, Tuple
+
+from .events import EventId
+
+
+class SequencePositions:
+    """Sorted occurrence positions for every event of a single sequence."""
+
+    __slots__ = ("length", "_positions")
+
+    def __init__(self, encoded: TypingSequence[EventId]) -> None:
+        self.length = len(encoded)
+        positions: Dict[EventId, List[int]] = {}
+        for index, event in enumerate(encoded):
+            positions.setdefault(event, []).append(index)
+        self._positions = positions
+
+    def positions_of(self, event: EventId) -> List[int]:
+        """All positions of ``event`` (possibly empty), sorted ascending."""
+        return self._positions.get(event, [])
+
+    def count(self, event: EventId) -> int:
+        """Number of occurrences of ``event`` in the sequence."""
+        return len(self._positions.get(event, ()))
+
+    def distinct_events(self) -> Tuple[EventId, ...]:
+        """The distinct events occurring in the sequence."""
+        return tuple(self._positions)
+
+    def first_at_or_after(self, event: EventId, position: int) -> Optional[int]:
+        """First occurrence of ``event`` at a position ``>= position``."""
+        occurrences = self._positions.get(event)
+        if not occurrences:
+            return None
+        index = bisect_left(occurrences, position)
+        if index == len(occurrences):
+            return None
+        return occurrences[index]
+
+    def first_after(self, event: EventId, position: int) -> Optional[int]:
+        """First occurrence of ``event`` strictly after ``position``."""
+        return self.first_at_or_after(event, position + 1)
+
+    def last_before(self, event: EventId, position: int) -> Optional[int]:
+        """Last occurrence of ``event`` strictly before ``position``."""
+        occurrences = self._positions.get(event)
+        if not occurrences:
+            return None
+        index = bisect_left(occurrences, position)
+        if index == 0:
+            return None
+        return occurrences[index - 1]
+
+    def occurs_between(self, event: EventId, lo: int, hi: int) -> bool:
+        """Whether ``event`` occurs at any position in the open interval ``(lo, hi)``."""
+        if hi - lo <= 1:
+            return False
+        occurrences = self._positions.get(event)
+        if not occurrences:
+            return False
+        index = bisect_right(occurrences, lo)
+        return index < len(occurrences) and occurrences[index] < hi
+
+    def count_between(self, event: EventId, lo: int, hi: int) -> int:
+        """Number of occurrences of ``event`` in the open interval ``(lo, hi)``."""
+        occurrences = self._positions.get(event)
+        if not occurrences:
+            return 0
+        return bisect_left(occurrences, hi) - bisect_right(occurrences, lo)
+
+
+class PositionIndex:
+    """Position indexes for every sequence of an encoded database."""
+
+    def __init__(self, encoded_sequences: TypingSequence[TypingSequence[EventId]]) -> None:
+        self._per_sequence: List[SequencePositions] = [
+            SequencePositions(sequence) for sequence in encoded_sequences
+        ]
+
+    def __len__(self) -> int:
+        return len(self._per_sequence)
+
+    def __getitem__(self, sequence_index: int) -> SequencePositions:
+        return self._per_sequence[sequence_index]
+
+    def sequence_support(self, event: EventId) -> int:
+        """Number of sequences in which ``event`` occurs at least once."""
+        return sum(1 for positions in self._per_sequence if positions.count(event) > 0)
+
+    def instance_support(self, event: EventId) -> int:
+        """Total number of occurrences of ``event`` across all sequences."""
+        return sum(positions.count(event) for positions in self._per_sequence)
+
+    def distinct_events(self) -> Tuple[EventId, ...]:
+        """All distinct events occurring anywhere in the database."""
+        seen = set()
+        for positions in self._per_sequence:
+            seen.update(positions.distinct_events())
+        return tuple(sorted(seen))

@@ -1,0 +1,182 @@
+"""Sequences and sequence databases.
+
+A :class:`Sequence` is an ordered list of event labels (Section 3.1 of the
+paper); a :class:`SequenceDatabase` is the ``SeqDB`` the miners operate on.
+The database owns an :class:`~repro.core.events.EventVocabulary` and stores
+every sequence twice conceptually: as the original labels (for reporting) and
+as encoded integer ids (for mining).  Only the encoded form is materialised;
+labels are recovered on demand through the vocabulary.
+
+The paper indexes events starting at 1; this implementation uses standard
+Python 0-based indexing everywhere and converts only when rendering results
+meant to mirror the paper's notation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence as TypingSequence, Tuple
+
+from .errors import DataFormatError
+from .events import EventId, EventLabel, EventVocabulary
+
+
+class Sequence:
+    """A single sequence of events with optional identifying metadata.
+
+    Instances are immutable; the event payload is a tuple of labels.
+    """
+
+    __slots__ = ("events", "name", "attributes")
+
+    def __init__(
+        self,
+        events: TypingSequence[EventLabel],
+        name: Optional[str] = None,
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.events: Tuple[EventLabel, ...] = tuple(events)
+        self.name = name
+        self.attributes: Dict[str, object] = dict(attributes or {})
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[EventLabel]:
+        return iter(self.events)
+
+    def __getitem__(self, index: int) -> EventLabel:
+        return self.events[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Sequence):
+            return NotImplemented
+        return self.events == other.events and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash((self.events, self.name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        label = f" name={self.name!r}" if self.name else ""
+        return f"Sequence(len={len(self.events)}{label})"
+
+
+class SequenceDatabase:
+    """A database of sequences sharing one event vocabulary (``SeqDB``).
+
+    The database can be built incrementally with :meth:`add` or in one call
+    with :meth:`from_sequences`.  It exposes both the label view
+    (:meth:`sequence`, :meth:`labels`) and the encoded integer view
+    (:attr:`encoded`) used by the mining algorithms.
+    """
+
+    def __init__(self, vocabulary: Optional[EventVocabulary] = None) -> None:
+        self.vocabulary = vocabulary if vocabulary is not None else EventVocabulary()
+        self._encoded: List[Tuple[EventId, ...]] = []
+        self._names: List[Optional[str]] = []
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_sequences(
+        cls,
+        sequences: Iterable[TypingSequence[EventLabel]],
+        vocabulary: Optional[EventVocabulary] = None,
+    ) -> "SequenceDatabase":
+        """Build a database from an iterable of label sequences."""
+        database = cls(vocabulary)
+        for sequence in sequences:
+            database.add(sequence)
+        return database
+
+    def add(self, events: TypingSequence[EventLabel], name: Optional[str] = None) -> int:
+        """Append a sequence and return its index in the database."""
+        if isinstance(events, Sequence):
+            name = name if name is not None else events.name
+            events = events.events
+        encoded = self.vocabulary.encode(events, register=True)
+        self._encoded.append(encoded)
+        self._names.append(name)
+        return len(self._encoded) - 1
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._encoded)
+
+    def __iter__(self) -> Iterator[Tuple[EventLabel, ...]]:
+        for encoded in self._encoded:
+            yield self.vocabulary.decode(encoded)
+
+    def __getitem__(self, index: int) -> Tuple[EventLabel, ...]:
+        return self.vocabulary.decode(self._encoded[index])
+
+    @property
+    def encoded(self) -> List[Tuple[EventId, ...]]:
+        """The encoded (integer id) view of every sequence."""
+        return self._encoded
+
+    def encoded_sequence(self, index: int) -> Tuple[EventId, ...]:
+        """The encoded form of the sequence at ``index``."""
+        return self._encoded[index]
+
+    def sequence(self, index: int) -> Sequence:
+        """The sequence at ``index`` as a :class:`Sequence` of labels."""
+        return Sequence(self.vocabulary.decode(self._encoded[index]), name=self._names[index])
+
+    def name(self, index: int) -> Optional[str]:
+        """The optional name attached to the sequence at ``index``."""
+        return self._names[index]
+
+    def labels(self) -> Tuple[EventLabel, ...]:
+        """All distinct event labels, ordered by their internal ids."""
+        return self.vocabulary.labels()
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def total_events(self) -> int:
+        """Total number of events across all sequences."""
+        return sum(len(sequence) for sequence in self._encoded)
+
+    def average_length(self) -> float:
+        """Average sequence length (0.0 for an empty database)."""
+        if not self._encoded:
+            return 0.0
+        return self.total_events() / len(self._encoded)
+
+    def alphabet_size(self) -> int:
+        """Number of distinct events appearing in the database."""
+        return len(self.vocabulary)
+
+    def describe(self) -> Dict[str, float]:
+        """A small statistics dictionary used in logging and reports."""
+        lengths = [len(sequence) for sequence in self._encoded]
+        return {
+            "sequences": float(len(self._encoded)),
+            "events": float(sum(lengths)),
+            "distinct_events": float(self.alphabet_size()),
+            "avg_length": (sum(lengths) / len(lengths)) if lengths else 0.0,
+            "max_length": float(max(lengths)) if lengths else 0.0,
+            "min_length": float(min(lengths)) if lengths else 0.0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Threshold helpers
+    # ------------------------------------------------------------------ #
+    def absolute_support(self, relative_or_absolute: float) -> int:
+        """Convert a support threshold to an absolute count.
+
+        The paper reports thresholds "relative to the number of sequences in
+        the database".  Values in ``(0, 1]`` are interpreted as fractions of
+        the number of sequences; values above 1 are rounded and used as
+        absolute counts.  The result is always at least 1.
+        """
+        if relative_or_absolute <= 0:
+            raise DataFormatError(
+                f"support threshold must be positive, got {relative_or_absolute!r}"
+            )
+        if relative_or_absolute <= 1:
+            return max(1, int(round(relative_or_absolute * len(self._encoded))))
+        return max(1, int(round(relative_or_absolute)))

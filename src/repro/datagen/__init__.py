@@ -1,0 +1,26 @@
+"""Synthetic data generation (the paper's IBM QUEST-style generator)."""
+
+from .noise import drop_events, inject_noise_events, interleave_databases, shuffle_windows
+from .profiles import (
+    PAPER_PROFILE,
+    available_profiles,
+    generate_profile,
+    profile,
+    scaled_profile,
+)
+from .quest import QuestConfig, QuestGenerator, generate_quest_database
+
+__all__ = [
+    "drop_events",
+    "inject_noise_events",
+    "interleave_databases",
+    "shuffle_windows",
+    "PAPER_PROFILE",
+    "available_profiles",
+    "generate_profile",
+    "profile",
+    "scaled_profile",
+    "QuestConfig",
+    "QuestGenerator",
+    "generate_quest_database",
+]

@@ -1,0 +1,116 @@
+"""Noise and corruption utilities for sequence databases.
+
+The JBoss workloads and several robustness tests perturb clean protocol
+traces with unrelated events, dropped events or locally shuffled events.
+All helpers are pure: they return a new :class:`SequenceDatabase` and leave
+the input untouched, and all randomness is seeded.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence as TypingSequence
+
+from ..core.errors import ConfigurationError
+from ..core.events import EventLabel
+from ..core.sequence import SequenceDatabase
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not (0.0 <= value <= 1.0):
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def inject_noise_events(
+    database: SequenceDatabase,
+    noise_events: TypingSequence[EventLabel],
+    probability: float = 0.1,
+    seed: int = 0,
+) -> SequenceDatabase:
+    """Insert random events from ``noise_events`` before existing events.
+
+    Each position independently receives a noise event with ``probability``.
+    """
+    _check_probability("probability", probability)
+    if not noise_events:
+        raise ConfigurationError("noise_events must not be empty")
+    rng = random.Random(seed)
+    noisy = SequenceDatabase()
+    for index in range(len(database)):
+        events: List[EventLabel] = []
+        for event in database[index]:
+            if rng.random() < probability:
+                events.append(rng.choice(list(noise_events)))
+            events.append(event)
+        noisy.add(events, name=database.name(index))
+    return noisy
+
+
+def drop_events(
+    database: SequenceDatabase, probability: float = 0.05, seed: int = 0
+) -> SequenceDatabase:
+    """Randomly remove events (each independently with ``probability``)."""
+    _check_probability("probability", probability)
+    rng = random.Random(seed)
+    corrupted = SequenceDatabase()
+    for index in range(len(database)):
+        original = list(database[index])
+        kept = [event for event in original if rng.random() >= probability]
+        if not kept and original:
+            kept = [original[0]]
+        corrupted.add(kept, name=database.name(index))
+    return corrupted
+
+
+def shuffle_windows(
+    database: SequenceDatabase, window: int = 3, probability: float = 0.1, seed: int = 0
+) -> SequenceDatabase:
+    """Shuffle small windows of events to simulate thread interleaving jitter."""
+    _check_probability("probability", probability)
+    if window < 2:
+        raise ConfigurationError(f"window must be >= 2, got {window!r}")
+    rng = random.Random(seed)
+    shuffled = SequenceDatabase()
+    for index in range(len(database)):
+        events = list(database[index])
+        position = 0
+        while position + window <= len(events):
+            if rng.random() < probability:
+                chunk = events[position : position + window]
+                rng.shuffle(chunk)
+                events[position : position + window] = chunk
+            position += window
+        shuffled.add(events, name=database.name(index))
+    return shuffled
+
+
+def interleave_databases(
+    first: SequenceDatabase, second: SequenceDatabase, seed: int = 0
+) -> SequenceDatabase:
+    """Randomly interleave the sequences of two databases pairwise.
+
+    Sequences are paired by index (extra sequences from the longer database
+    are appended unchanged); each pair is merged by a random fair shuffle
+    that preserves the relative order within each source sequence —
+    mimicking two components logging into a single trace.
+    """
+    rng = random.Random(seed)
+    merged = SequenceDatabase()
+    count = max(len(first), len(second))
+    for index in range(count):
+        left = list(first[index]) if index < len(first) else []
+        right = list(second[index]) if index < len(second) else []
+        events: List[EventLabel] = []
+        left_position, right_position = 0, 0
+        while left_position < len(left) or right_position < len(right):
+            take_left = right_position >= len(right) or (
+                left_position < len(left) and rng.random() < 0.5
+            )
+            if take_left:
+                events.append(left[left_position])
+                left_position += 1
+            else:
+                events.append(right[right_position])
+                right_position += 1
+        merged.add(events, name=f"interleaved-{index}")
+    return merged

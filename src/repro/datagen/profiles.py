@@ -1,0 +1,98 @@
+"""Named synthetic dataset profiles, including the paper's D5C20N10S20.
+
+The performance study (Section 6) uses the dataset ``D5C20N10S20``: 5000
+sequences averaging 20 events over an alphabet of 10000 distinct events,
+with maximal potentially-frequent sequences averaging 20 events.  Mining
+that dataset end to end with a pure-Python miner is possible but slow, so
+:func:`scaled_profile` shrinks D and N proportionally while keeping C and S
+(the parameters that determine the *shape* of the pattern/rule explosion)
+fixed; the benchmark harness defaults to ``scale=0.1`` and accepts
+``REPRO_BENCH_SCALE=1.0`` for a paper-sized run.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict
+
+from ..core.errors import ConfigurationError
+from ..core.sequence import SequenceDatabase
+from .quest import QuestConfig, QuestGenerator
+
+#: The dataset used throughout the paper's Section 6.
+PAPER_PROFILE = "D5C20N10S20"
+
+_PROFILES: Dict[str, QuestConfig] = {
+    "D5C20N10S20": QuestConfig(
+        num_sequences=5000,
+        avg_sequence_length=20,
+        num_events=10000,
+        avg_pattern_length=20,
+        num_patterns=200,
+    ),
+    # Smaller profiles used by tests and quick examples.
+    "D1C10N1S4": QuestConfig(
+        num_sequences=1000,
+        avg_sequence_length=10,
+        num_events=1000,
+        avg_pattern_length=4,
+        num_patterns=50,
+    ),
+    "D0.2C15N0.5S8": QuestConfig(
+        num_sequences=200,
+        avg_sequence_length=15,
+        num_events=500,
+        avg_pattern_length=8,
+        num_patterns=40,
+    ),
+}
+
+_PROFILE_NAME_PATTERN = re.compile(
+    r"^D(?P<d>[0-9.]+)C(?P<c>[0-9]+)N(?P<n>[0-9.]+)S(?P<s>[0-9]+)$"
+)
+
+
+def available_profiles() -> Dict[str, QuestConfig]:
+    """All named profiles shipped with the library."""
+    return dict(_PROFILES)
+
+
+def profile(name: str) -> QuestConfig:
+    """Look up a named profile, or parse a D/C/N/S name into a configuration."""
+    if name in _PROFILES:
+        return _PROFILES[name]
+    match = _PROFILE_NAME_PATTERN.match(name)
+    if match is None:
+        raise ConfigurationError(
+            f"unknown dataset profile {name!r}; expected one of {sorted(_PROFILES)} "
+            "or a D<d>C<c>N<n>S<s> name"
+        )
+    return QuestConfig(
+        num_sequences=max(1, int(round(float(match.group("d")) * 1000))),
+        avg_sequence_length=int(match.group("c")),
+        num_events=max(2, int(round(float(match.group("n")) * 1000))),
+        avg_pattern_length=int(match.group("s")),
+    )
+
+
+def scaled_profile(name: str, scale: float = 1.0, seed: int = None) -> QuestConfig:
+    """A profile with D and N scaled by ``scale`` (shape parameters unchanged)."""
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale!r}")
+    base = profile(name)
+    return QuestConfig(
+        num_sequences=max(10, int(round(base.num_sequences * scale))),
+        avg_sequence_length=base.avg_sequence_length,
+        num_events=max(10, int(round(base.num_events * scale))),
+        avg_pattern_length=base.avg_pattern_length,
+        num_patterns=max(10, int(round(base.num_patterns * max(scale, 0.1)))),
+        corruption_probability=base.corruption_probability,
+        noise_probability=base.noise_probability,
+        pattern_reuse_fraction=base.pattern_reuse_fraction,
+        seed=base.seed if seed is None else seed,
+    )
+
+
+def generate_profile(name: str, scale: float = 1.0, seed: int = None) -> SequenceDatabase:
+    """Generate the database for a (possibly scaled) named profile."""
+    return QuestGenerator(scaled_profile(name, scale=scale, seed=seed)).generate()

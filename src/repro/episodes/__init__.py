@@ -1,0 +1,30 @@
+"""Episode mining baselines (Mannila et al. and Casas-Garriga, refs [22], [13]).
+
+* :class:`WinepiMiner` — fixed-window serial episode mining;
+* :class:`MinepiMiner` — minimal occurrences with an optional gap constraint;
+* :func:`derive_episode_rules` — episode rules from a WINEPI result.
+"""
+
+from .minepi import MinepiMiner, MinepiResult, minimal_occurrences
+from .rules import EpisodeRule, EpisodeRuleResult, derive_episode_rules
+from .windows import (
+    Episode,
+    EpisodeMiningResult,
+    WinepiMiner,
+    mine_episodes,
+    window_support,
+)
+
+__all__ = [
+    "MinepiMiner",
+    "MinepiResult",
+    "minimal_occurrences",
+    "EpisodeRule",
+    "EpisodeRuleResult",
+    "derive_episode_rules",
+    "Episode",
+    "EpisodeMiningResult",
+    "WinepiMiner",
+    "mine_episodes",
+    "window_support",
+]

@@ -1,0 +1,86 @@
+"""Episode rules (Mannila et al., ref [22]).
+
+An episode rule ``alpha => beta`` relates an episode ``beta`` and one of its
+prefixes ``alpha``: its confidence is ``support(beta) / support(alpha)`` —
+"when the prefix is seen inside a window, how often does the whole episode
+complete within the same window".  Rules are generated directly from a
+WINEPI mining result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.events import EventLabel
+from ..core.pattern import format_pattern
+from .windows import EpisodeMiningResult
+
+
+@dataclass(frozen=True)
+class EpisodeRule:
+    """An episode rule ``prefix => episode`` with window-based confidence."""
+
+    premise: Tuple[EventLabel, ...]
+    consequent: Tuple[EventLabel, ...]
+    support: int
+    confidence: float
+
+    @property
+    def episode(self) -> Tuple[EventLabel, ...]:
+        """The full episode the rule predicts (premise followed by consequent)."""
+        return self.premise + self.consequent
+
+    def __str__(self) -> str:
+        return (
+            f"{format_pattern(self.premise)} => {format_pattern(self.consequent)} "
+            f"(sup={self.support}, conf={self.confidence:.3f})"
+        )
+
+
+@dataclass
+class EpisodeRuleResult:
+    """Episode rules derived from a WINEPI result."""
+
+    rules: List[EpisodeRule] = field(default_factory=list)
+    window_width: int = 0
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+
+def derive_episode_rules(
+    episodes: EpisodeMiningResult, min_confidence: float = 0.5
+) -> EpisodeRuleResult:
+    """Generate all episode rules meeting ``min_confidence`` from mined episodes."""
+    if not (0.0 < min_confidence <= 1.0):
+        raise ConfigurationError(f"min_confidence must be in (0, 1], got {min_confidence!r}")
+
+    support_by_episode: Dict[Tuple[EventLabel, ...], int] = {
+        episode.events: episode.support for episode in episodes.episodes
+    }
+    result = EpisodeRuleResult(window_width=episodes.window_width)
+    for episode in episodes.episodes:
+        if len(episode.events) < 2:
+            continue
+        for split in range(1, len(episode.events)):
+            premise = episode.events[:split]
+            consequent = episode.events[split:]
+            premise_support = support_by_episode.get(premise)
+            if not premise_support:
+                continue
+            confidence = episode.support / premise_support
+            if confidence >= min_confidence:
+                result.rules.append(
+                    EpisodeRule(
+                        premise=premise,
+                        consequent=consequent,
+                        support=episode.support,
+                        confidence=confidence,
+                    )
+                )
+    return result

@@ -1,0 +1,56 @@
+"""Simulated JBoss Application Server components and workloads (Section 7)."""
+
+from .reference import (
+    CONNECTION_SET_UP,
+    FIGURE4_PATTERN,
+    FIGURE5_CONSEQUENT,
+    FIGURE5_PREMISE,
+    FIGURE5_RULE,
+    JTA_COMMIT_PATTERN,
+    JTA_ROLLBACK_PATTERN,
+    TRANSACTION_COMMIT,
+    TRANSACTION_DISPOSE,
+    TRANSACTION_ROLLBACK,
+    TRANSACTION_SET_UP,
+    TX_MANAGER_SET_UP,
+)
+from .security import AuthenticationOutcome, JaasSecurityService
+from .transaction import TransactionClient, TransactionManagerLocator, TxManager
+from .workloads import (
+    CLIENT_WORK_EVENTS,
+    SECURITY_NOISE_EVENTS,
+    SERVER_NOISE_EVENTS,
+    SecurityWorkloadConfig,
+    TransactionWorkloadConfig,
+    generate_case_study_traces,
+    generate_security_traces,
+    generate_transaction_traces,
+)
+
+__all__ = [
+    "CONNECTION_SET_UP",
+    "FIGURE4_PATTERN",
+    "FIGURE5_CONSEQUENT",
+    "FIGURE5_PREMISE",
+    "FIGURE5_RULE",
+    "JTA_COMMIT_PATTERN",
+    "JTA_ROLLBACK_PATTERN",
+    "TRANSACTION_COMMIT",
+    "TRANSACTION_DISPOSE",
+    "TRANSACTION_ROLLBACK",
+    "TRANSACTION_SET_UP",
+    "TX_MANAGER_SET_UP",
+    "AuthenticationOutcome",
+    "JaasSecurityService",
+    "TransactionClient",
+    "TransactionManagerLocator",
+    "TxManager",
+    "CLIENT_WORK_EVENTS",
+    "SECURITY_NOISE_EVENTS",
+    "SERVER_NOISE_EVENTS",
+    "SecurityWorkloadConfig",
+    "TransactionWorkloadConfig",
+    "generate_case_study_traces",
+    "generate_security_traces",
+    "generate_transaction_traces",
+]

@@ -1,0 +1,115 @@
+"""Reference artefacts from the paper's JBoss case study (Section 7).
+
+``FIGURE4_PATTERN`` is the longest iterative pattern mined from the JBoss
+transaction component (Figure 4), read top-to-bottom, left-to-right across
+the figure's six blocks.  ``FIGURE5_PREMISE`` / ``FIGURE5_CONSEQUENT`` form
+the recurrent rule mined from the JBoss security component (Figure 5) — the
+JAAS authentication behaviour.  The method names follow the figure's
+abbreviations; trailing ``()`` marks are dropped so the labels match the
+``Class.method`` convention used by the trace framework.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Figure 4, block 1 — "Connection Set Up".
+CONNECTION_SET_UP: Tuple[str, ...] = (
+    "TransactionManagerLocator.getInstance",
+    "TransactionManagerLocator.locate",
+    "TransactionManagerLocator.tryJNDI",
+    "TransactionManagerLocator.usePrivateAPI",
+)
+
+#: Figure 4, block 2 — "Tx Manager Set Up".
+TX_MANAGER_SET_UP: Tuple[str, ...] = (
+    "TxManager.begin",
+    "XidFactory.newXid",
+    "XidFactory.getNextId",
+    "XidImpl.getTrulyGlobalId",
+)
+
+#: Figure 4, blocks 3 and 4 — "Transaction Set Up" (and continuation).
+TRANSACTION_SET_UP: Tuple[str, ...] = (
+    "TransactionImpl.associateCurrentThread",
+    "TransactionImpl.getLocalId",
+    "XidImpl.getLocalId",
+    "LocalId.hashCode",
+    "TransactionImpl.equals",
+    "TransactionImpl.getLocalIdValue",
+    "XidImpl.getLocalIdValue",
+    "TransactionImpl.getLocalIdValue",
+    "XidImpl.getLocalIdValue",
+)
+
+#: Figure 4, blocks 5 and 6 — "Transaction Commit" (and continuation).
+TRANSACTION_COMMIT: Tuple[str, ...] = (
+    "TxManager.commit",
+    "TransactionImpl.commit",
+    "TransactionImpl.beforePrepare",
+    "TransactionImpl.checkIntegrity",
+    "TransactionImpl.checkBeforeStatus",
+    "TransactionImpl.endResources",
+    "TransactionImpl.completeTransaction",
+    "TransactionImpl.cancelTimeout",
+    "TransactionImpl.doAfterCompletion",
+    "TransactionImpl.instanceDone",
+)
+
+#: Figure 4, final block — "Transaction Dispose".
+TRANSACTION_DISPOSE: Tuple[str, ...] = (
+    "TxManager.releaseTransactionImpl",
+    "TransactionImpl.getLocalId",
+    "XidImpl.getLocalId",
+    "LocalId.hashCode",
+    "LocalId.equals",
+)
+
+#: The complete Figure 4 pattern (the longest iterative pattern the paper mined).
+FIGURE4_PATTERN: Tuple[str, ...] = (
+    CONNECTION_SET_UP
+    + TX_MANAGER_SET_UP
+    + TRANSACTION_SET_UP
+    + TRANSACTION_COMMIT
+    + TRANSACTION_DISPOSE
+)
+
+#: The rollback variant of the commit protocol (JTA: begin may end in rollback).
+TRANSACTION_ROLLBACK: Tuple[str, ...] = (
+    "TxManager.rollback",
+    "TransactionImpl.rollback",
+    "TransactionImpl.endResources",
+    "TransactionImpl.completeTransaction",
+    "TransactionImpl.cancelTimeout",
+    "TransactionImpl.doAfterCompletion",
+    "TransactionImpl.instanceDone",
+)
+
+#: Figure 5 premise — authentication-configuration lookup.
+FIGURE5_PREMISE: Tuple[str, ...] = (
+    "XmlLoginCI.getConfEntry",
+    "AuthenInfo.getName",
+)
+
+#: Figure 5 consequent — JAAS login, principal binding and credential use.
+FIGURE5_CONSEQUENT: Tuple[str, ...] = (
+    "ClientLoginMod.initialize",
+    "ClientLoginMod.login",
+    "ClientLoginMod.commit",
+    "SecAssocActs.setPrincipalInfo",
+    "SetPrincipalInfoAction.run",
+    "SecAssocActs.pushSubjectCtxt",
+    "SubjectThreadLocalStack.push",
+    "SimplePrincipal.toString",
+    "SecAssoc.getPrincipal",
+    "SecAssoc.getCredential",
+    "SecAssoc.getPrincipal",
+    "SecAssoc.getCredential",
+)
+
+#: The complete Figure 5 rule as a (premise, consequent) pair.
+FIGURE5_RULE: Tuple[Tuple[str, ...], Tuple[str, ...]] = (FIGURE5_PREMISE, FIGURE5_CONSEQUENT)
+
+#: The two JTA protocol patterns quoted in the paper's introduction.
+JTA_COMMIT_PATTERN: Tuple[str, ...] = ("TxManager.begin", "TxManager.commit")
+JTA_ROLLBACK_PATTERN: Tuple[str, ...] = ("TxManager.begin", "TxManager.rollback")

@@ -1,0 +1,243 @@
+"""Behavioural simulation of the JBoss security component (Figure 5).
+
+The security case study of the paper instruments the JAAS-based
+authentication path of JBoss-AS.  This module models the classes appearing
+in Figure 5 (with the figure's abbreviated names): configuration lookup
+(``XmlLoginCI``, ``AuthenInfo``), the client login module
+(``ClientLoginMod``), the security-association plumbing that binds the
+authenticated principal to the subject (``SecAssocActs``,
+``SetPrincipalInfoAction``, ``SubjectThreadLocalStack``,
+``SimplePrincipal``) and the credential accessors used afterwards
+(``SecAssoc``).
+
+A successful :meth:`JaasSecurityService.authenticate` records exactly the
+premise followed by the consequent of Figure 5; failed logins and
+"configuration unavailable" scenarios record the corresponding shorter
+sequences, which is what gives the mined rule a confidence below 100% and
+keeps its statistics distinct from coarser rules (see the workload module).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..traces.trace import TraceCollector
+
+
+class _RecordingComponent:
+    """Base class: records ``ClassName.method`` on entry of every public method."""
+
+    component_name: str = ""
+
+    def __init__(self, collector: TraceCollector) -> None:
+        self._collector = collector
+
+    def _record(self, method_name: str) -> None:
+        self._collector.record_call(self.component_name or type(self).__name__, method_name)
+
+
+class XmlLoginConfig(_RecordingComponent):
+    """The XML login configuration (``XmlLoginCI`` in the figure)."""
+
+    component_name = "XmlLoginCI"
+
+    def __init__(self, collector: TraceCollector, entries: Optional[List[str]] = None) -> None:
+        super().__init__(collector)
+        self._entries = list(entries if entries is not None else ["client-login"])
+
+    def getConfEntry(self, name: str = "client-login") -> Optional["AuthenticationInfo"]:
+        self._record("getConfEntry")
+        if name not in self._entries:
+            return None
+        return AuthenticationInfo(self._collector, name)
+
+
+class AuthenticationInfo(_RecordingComponent):
+    """Authentication configuration entry (``AuthenInfo`` in the figure)."""
+
+    component_name = "AuthenInfo"
+
+    def __init__(self, collector: TraceCollector, name: str) -> None:
+        super().__init__(collector)
+        self._name = name
+
+    def getName(self) -> str:
+        self._record("getName")
+        return self._name
+
+
+class SimplePrincipal(_RecordingComponent):
+    """The authenticated principal."""
+
+    component_name = "SimplePrincipal"
+
+    def __init__(self, collector: TraceCollector, name: str) -> None:
+        super().__init__(collector)
+        self.name = name
+
+    def toString(self) -> str:
+        self._record("toString")
+        return self.name
+
+
+class SubjectThreadLocalStack(_RecordingComponent):
+    """Thread-local stack of authenticated subject contexts."""
+
+    component_name = "SubjectThreadLocalStack"
+
+    def __init__(self, collector: TraceCollector) -> None:
+        super().__init__(collector)
+        self._stack: List[str] = []
+
+    def push(self, subject: str) -> None:
+        self._record("push")
+        self._stack.append(subject)
+
+    def pop(self) -> Optional[str]:
+        self._record("pop")
+        return self._stack.pop() if self._stack else None
+
+    def depth(self) -> int:
+        return len(self._stack)
+
+
+class SetPrincipalInfoAction(_RecordingComponent):
+    """Privileged action actually installing the principal information."""
+
+    component_name = "SetPrincipalInfoAction"
+
+    def run(self) -> None:
+        self._record("run")
+
+
+class SecurityAssociationActions(_RecordingComponent):
+    """``SecAssocActs``: binds principal / subject information to the thread."""
+
+    component_name = "SecAssocActs"
+
+    def __init__(self, collector: TraceCollector, stack: SubjectThreadLocalStack) -> None:
+        super().__init__(collector)
+        self._stack = stack
+        self._action = SetPrincipalInfoAction(collector)
+
+    def setPrincipalInfo(self, principal: SimplePrincipal, credential: str) -> None:
+        self._record("setPrincipalInfo")
+        self._action.run()
+
+    def pushSubjectCtxt(self, subject: str) -> None:
+        self._record("pushSubjectCtxt")
+        self._stack.push(subject)
+
+
+class SecurityAssociation(_RecordingComponent):
+    """``SecAssoc``: the accessors other components use after authentication."""
+
+    component_name = "SecAssoc"
+
+    def __init__(self, collector: TraceCollector) -> None:
+        super().__init__(collector)
+        self._principal: Optional[SimplePrincipal] = None
+        self._credential: Optional[str] = None
+
+    def bind(self, principal: SimplePrincipal, credential: str) -> None:
+        self._principal = principal
+        self._credential = credential
+
+    def getPrincipal(self) -> Optional[SimplePrincipal]:
+        self._record("getPrincipal")
+        return self._principal
+
+    def getCredential(self) -> Optional[str]:
+        self._record("getCredential")
+        return self._credential
+
+
+class ClientLoginModule(_RecordingComponent):
+    """``ClientLoginMod``: the JAAS login module used by EJB clients."""
+
+    component_name = "ClientLoginMod"
+
+    def __init__(self, collector: TraceCollector, association: SecurityAssociation) -> None:
+        super().__init__(collector)
+        self._association = association
+        self._pending: Optional[SimplePrincipal] = None
+        self._credential: Optional[str] = None
+
+    def initialize(self, username: str, credential: str) -> None:
+        self._record("initialize")
+        self._pending = SimplePrincipal(self._collector, username)
+        self._credential = credential
+
+    def login(self, valid: bool = True) -> bool:
+        self._record("login")
+        return valid
+
+    def commit(self) -> SimplePrincipal:
+        self._record("commit")
+        assert self._pending is not None
+        self._association.bind(self._pending, self._credential or "")
+        return self._pending
+
+    def abort(self) -> None:
+        self._record("abort")
+        self._pending = None
+        self._credential = None
+
+
+@dataclass
+class AuthenticationOutcome:
+    """Result of one authentication scenario."""
+
+    authenticated: bool
+    configuration_found: bool
+    principal_name: Optional[str] = None
+
+
+class JaasSecurityService:
+    """Orchestrates one JAAS authentication scenario over the simulated classes.
+
+    A fully successful call to :meth:`authenticate` (configuration present,
+    valid credentials, ``uses=2``) records the Figure 5 premise followed by
+    its twelve-event consequent.
+    """
+
+    def __init__(self, collector: TraceCollector, entries: Optional[List[str]] = None) -> None:
+        self.collector = collector
+        self.config = XmlLoginConfig(collector, entries)
+        self.stack = SubjectThreadLocalStack(collector)
+        self.association = SecurityAssociation(collector)
+        self.actions = SecurityAssociationActions(collector, self.stack)
+        self.login_module = ClientLoginModule(collector, self.association)
+
+    def authenticate(
+        self,
+        username: str = "admin",
+        credential: str = "secret",
+        entry_name: str = "client-login",
+        valid_credentials: bool = True,
+        uses: int = 2,
+    ) -> AuthenticationOutcome:
+        """Run one authentication scenario; record the corresponding events."""
+        entry = self.config.getConfEntry(entry_name)
+        if entry is None:
+            return AuthenticationOutcome(authenticated=False, configuration_found=False)
+        entry.getName()
+
+        self.login_module.initialize(username, credential)
+        if not self.login_module.login(valid=valid_credentials):
+            self.login_module.abort()
+            return AuthenticationOutcome(authenticated=False, configuration_found=True)
+        principal = self.login_module.commit()
+
+        self.actions.setPrincipalInfo(principal, credential)
+        self.actions.pushSubjectCtxt(username)
+        principal.toString()
+
+        for _ in range(max(0, uses)):
+            self.association.getPrincipal()
+            self.association.getCredential()
+
+        return AuthenticationOutcome(
+            authenticated=True, configuration_found=True, principal_name=principal.name
+        )

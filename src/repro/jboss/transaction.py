@@ -1,0 +1,296 @@
+"""Behavioural simulation of the JBoss transaction component (Figure 4).
+
+The paper's transaction case study instruments classes such as
+``TxManager``, ``TransactionImpl``, ``XidFactory`` and ``XidImpl`` with
+JBoss-AOP and runs the distribution's test suite.  Real JBoss traces are not
+available offline, so this module models the same classes as small Python
+objects whose method-call order during a begin/work/commit/dispose cycle is
+exactly the protocol of Figure 4; noise (client SQL work, logging, other
+server activity) is added by the workload layer, never by these classes.
+
+Every public method records a ``Class.method`` event into the shared
+:class:`~repro.traces.trace.TraceCollector` on entry — the Python analogue
+of an AOP "before" advice — and then performs a tiny amount of real state
+manipulation so the simulation has observable behaviour to test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.errors import MonitoringError
+from ..traces.trace import TraceCollector
+
+
+class _RecordingComponent:
+    """Base class: records ``ClassName.method`` on entry of every public method."""
+
+    component_name: str = ""
+
+    def __init__(self, collector: TraceCollector) -> None:
+        self._collector = collector
+
+    def _record(self, method_name: str) -> None:
+        self._collector.record_call(self.component_name or type(self).__name__, method_name)
+
+
+class LocalId(_RecordingComponent):
+    """The transaction-local identifier (hashing / equality participant)."""
+
+    component_name = "LocalId"
+
+    def __init__(self, collector: TraceCollector, value: int) -> None:
+        super().__init__(collector)
+        self.value = value
+
+    def hashCode(self) -> int:
+        self._record("hashCode")
+        return hash(self.value) & 0x7FFFFFFF
+
+    def equals(self, other: "LocalId") -> bool:
+        self._record("equals")
+        return isinstance(other, LocalId) and other.value == self.value
+
+
+class XidImpl(_RecordingComponent):
+    """A transaction identifier (Xid) with global and local parts."""
+
+    component_name = "XidImpl"
+
+    def __init__(self, collector: TraceCollector, global_id: int, local_id: int) -> None:
+        super().__init__(collector)
+        self._global_id = global_id
+        self._local_id = local_id
+
+    def getTrulyGlobalId(self) -> int:
+        self._record("getTrulyGlobalId")
+        return self._global_id
+
+    def getLocalId(self) -> LocalId:
+        self._record("getLocalId")
+        return LocalId(self._collector, self._local_id)
+
+    def getLocalIdValue(self) -> int:
+        self._record("getLocalIdValue")
+        return self._local_id
+
+
+class XidFactory(_RecordingComponent):
+    """Factory creating fresh Xids with monotonically increasing local ids."""
+
+    component_name = "XidFactory"
+
+    def __init__(self, collector: TraceCollector) -> None:
+        super().__init__(collector)
+        self._next_id = 0
+
+    def getNextId(self) -> int:
+        self._record("getNextId")
+        self._next_id += 1
+        return self._next_id
+
+    def newXid(self) -> XidImpl:
+        self._record("newXid")
+        local_id = self.getNextId()
+        xid = XidImpl(self._collector, global_id=1000 + local_id, local_id=local_id)
+        xid.getTrulyGlobalId()
+        return xid
+
+
+class TransactionImpl(_RecordingComponent):
+    """One transaction: thread association, integrity checks, completion."""
+
+    component_name = "TransactionImpl"
+
+    STATUS_ACTIVE = "ACTIVE"
+    STATUS_COMMITTED = "COMMITTED"
+    STATUS_ROLLED_BACK = "ROLLED_BACK"
+
+    def __init__(self, collector: TraceCollector, xid: XidImpl) -> None:
+        super().__init__(collector)
+        self.xid = xid
+        self.status = self.STATUS_ACTIVE
+        self.resources: List[str] = []
+
+    # -- identity ------------------------------------------------------- #
+    def getLocalId(self) -> LocalId:
+        self._record("getLocalId")
+        return self.xid.getLocalId()
+
+    def getLocalIdValue(self) -> int:
+        self._record("getLocalIdValue")
+        return self.xid.getLocalIdValue()
+
+    def equals(self, other: "TransactionImpl") -> bool:
+        self._record("equals")
+        return self.getLocalIdValue() == other.getLocalIdValue()
+
+    # -- lifecycle ------------------------------------------------------ #
+    def associateCurrentThread(self) -> None:
+        self._record("associateCurrentThread")
+
+    def enlistResource(self, resource: str) -> None:
+        self.resources.append(resource)
+
+    def commit(self) -> None:
+        self._record("commit")
+        if self.status != self.STATUS_ACTIVE:
+            raise MonitoringError(f"cannot commit a transaction in state {self.status}")
+        self.beforePrepare()
+        self.endResources()
+        self.completeTransaction()
+        self.status = self.STATUS_COMMITTED
+
+    def beforePrepare(self) -> None:
+        self._record("beforePrepare")
+        self.checkIntegrity()
+
+    def checkIntegrity(self) -> None:
+        self._record("checkIntegrity")
+        self.checkBeforeStatus()
+
+    def checkBeforeStatus(self) -> None:
+        self._record("checkBeforeStatus")
+
+    def rollback(self) -> None:
+        self._record("rollback")
+        if self.status != self.STATUS_ACTIVE:
+            raise MonitoringError(f"cannot roll back a transaction in state {self.status}")
+        self.endResources()
+        self.completeTransaction()
+        self.status = self.STATUS_ROLLED_BACK
+
+    def endResources(self) -> None:
+        self._record("endResources")
+        self.resources.clear()
+
+    def completeTransaction(self) -> None:
+        self._record("completeTransaction")
+        self.cancelTimeout()
+        self.doAfterCompletion()
+        self.instanceDone()
+
+    def cancelTimeout(self) -> None:
+        self._record("cancelTimeout")
+
+    def doAfterCompletion(self) -> None:
+        self._record("doAfterCompletion")
+
+    def instanceDone(self) -> None:
+        self._record("instanceDone")
+
+
+class TxManager(_RecordingComponent):
+    """The transaction manager: begin / commit / rollback / release."""
+
+    component_name = "TxManager"
+
+    def __init__(self, collector: TraceCollector) -> None:
+        super().__init__(collector)
+        self._factory = XidFactory(collector)
+        self._registry: List[TransactionImpl] = []
+
+    def begin(self) -> TransactionImpl:
+        """Start a transaction; records the Tx Manager + Transaction Set Up blocks."""
+        self._record("begin")
+        xid = self._factory.newXid()
+        transaction = TransactionImpl(self._collector, xid)
+        transaction.associateCurrentThread()
+        # Register the transaction: the registry hashes the local id and
+        # compares against the most recent transaction, which is exactly the
+        # getLocalId / hashCode / equals sub-protocol of Figure 4.
+        local_id = transaction.getLocalId()
+        local_id.hashCode()
+        previous = self._registry[-1] if self._registry else transaction
+        transaction.equals(previous)
+        self._registry.append(transaction)
+        return transaction
+
+    def commit(self, transaction: TransactionImpl) -> None:
+        """Commit: records the Transaction Commit block."""
+        self._record("commit")
+        transaction.commit()
+
+    def rollback(self, transaction: TransactionImpl) -> None:
+        """Roll back: the JTA alternative ending of the protocol."""
+        self._record("rollback")
+        transaction.rollback()
+
+    def releaseTransactionImpl(self, transaction: TransactionImpl) -> None:
+        """Dispose the transaction: records the Transaction Dispose block."""
+        self._record("releaseTransactionImpl")
+        local_id = transaction.getLocalId()
+        local_id.hashCode()
+        local_id.equals(local_id)
+        if transaction in self._registry:
+            self._registry.remove(transaction)
+
+
+class TransactionManagerLocator(_RecordingComponent):
+    """Locates the server's transaction manager (the Connection Set Up block)."""
+
+    component_name = "TransactionManagerLocator"
+
+    def __init__(self, collector: TraceCollector, jndi_available: bool = False) -> None:
+        super().__init__(collector)
+        self._jndi_available = jndi_available
+        self._manager: Optional[TxManager] = None
+
+    def getInstance(self) -> "TransactionManagerLocator":
+        self._record("getInstance")
+        return self
+
+    def locate(self) -> TxManager:
+        self._record("locate")
+        found = self.tryJNDI()
+        if found is None:
+            found = self.usePrivateAPI()
+        self._manager = found
+        return found
+
+    def tryJNDI(self) -> Optional[TxManager]:
+        self._record("tryJNDI")
+        if self._jndi_available and self._manager is not None:
+            return self._manager
+        return None
+
+    def usePrivateAPI(self) -> TxManager:
+        self._record("usePrivateAPI")
+        if self._manager is None:
+            self._manager = TxManager(self._collector)
+        return self._manager
+
+
+@dataclass
+class TransactionClient:
+    """A client running complete transaction cycles against the simulated server.
+
+    The client is the unit the workload layer drives: one ``run_transaction``
+    call produces exactly one occurrence of the Figure 4 protocol (commit) or
+    of its rollback variant, with the caller free to interleave unrelated
+    work events between ``begin`` and the final outcome.
+    """
+
+    collector: TraceCollector
+    locator: TransactionManagerLocator = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.locator = TransactionManagerLocator(self.collector)
+
+    def run_transaction(self, commit: bool = True, work: Optional[List[str]] = None) -> str:
+        """Run one full transaction cycle and return the final status."""
+        manager = self.locator.getInstance().locate()
+        transaction = manager.begin()
+        for work_event in work or []:
+            # Client work is recorded verbatim: these events are outside the
+            # transaction component's vocabulary, hence outside the mined
+            # pattern's alphabet.
+            self.collector.record(work_event)
+            transaction.enlistResource(work_event)
+        if commit:
+            manager.commit(transaction)
+        else:
+            manager.rollback(transaction)
+        manager.releaseTransactionImpl(transaction)
+        return transaction.status

@@ -1,0 +1,204 @@
+"""Simulated JBoss test-suite workloads producing the case-study traces.
+
+The paper obtains its case-study traces by instrumenting the transaction and
+security components of JBoss-AS and running the distribution's test suite.
+This module plays the role of that test suite: it drives the simulated
+components of :mod:`repro.jboss.transaction` and :mod:`repro.jboss.security`
+repeatedly, interleaving realistic but unrelated server activity (logging,
+caching, JNDI lookups, servlet handling, SQL work) so that the protocol
+events of Figures 4 and 5 appear amid noise, repeated both within and across
+traces — exactly the setting iterative patterns and recurrent rules target.
+
+All randomness is seeded, so the generated trace databases (and therefore
+the case-study mining results) are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.errors import ConfigurationError
+from ..core.sequence import SequenceDatabase
+from ..traces.trace import TraceCollector
+from .security import JaasSecurityService
+from .transaction import TransactionClient
+
+#: Unrelated server activity interleaved *between* protocol occurrences.
+SERVER_NOISE_EVENTS = (
+    "Logger.debug",
+    "Logger.info",
+    "Cache.lookup",
+    "Cache.evict",
+    "JndiContext.lookup",
+    "HttpRequest.parse",
+    "HttpResponse.flush",
+    "ThreadPool.submit",
+    "MBeanServer.invoke",
+    "ClassLoaderRepo.loadClass",
+)
+
+#: Client work performed *inside* a transaction (between begin and commit).
+CLIENT_WORK_EVENTS = (
+    "ConnectionImpl.prepareStatement",
+    "PreparedStatement.setString",
+    "PreparedStatement.executeUpdate",
+    "ResultSetImpl.next",
+    "EntityBean.load",
+    "EntityBean.store",
+    "SessionBean.invoke",
+    "MessageQueue.send",
+)
+
+#: Activity of other security-unrelated interceptors in the security traces.
+SECURITY_NOISE_EVENTS = (
+    "EJBInvocation.invoke",
+    "InvocationContext.proceed",
+    "TxInterceptor.process",
+    "LogInterceptor.trace",
+    "NamingService.resolve",
+    "MarshalledValue.get",
+    "ProxyFactory.createProxy",
+)
+
+
+@dataclass(frozen=True)
+class TransactionWorkloadConfig:
+    """Shape of the simulated transaction-component test suite."""
+
+    num_traces: int = 20
+    min_transactions_per_trace: int = 1
+    max_transactions_per_trace: int = 3
+    rollback_probability: float = 0.2
+    noise_events_between: int = 3
+    max_work_events: int = 3
+    seed: int = 77
+
+    def __post_init__(self) -> None:
+        if self.num_traces < 1:
+            raise ConfigurationError("num_traces must be >= 1")
+        if not (1 <= self.min_transactions_per_trace <= self.max_transactions_per_trace):
+            raise ConfigurationError("transactions-per-trace bounds are inconsistent")
+        if not (0.0 <= self.rollback_probability <= 1.0):
+            raise ConfigurationError("rollback_probability must be in [0, 1]")
+
+
+def generate_transaction_traces(
+    config: Optional[TransactionWorkloadConfig] = None,
+) -> SequenceDatabase:
+    """Run the simulated transaction test suite and return its traces."""
+    config = config or TransactionWorkloadConfig()
+    rng = random.Random(config.seed)
+    collector = TraceCollector()
+
+    for trace_index in range(config.num_traces):
+        with collector.trace(f"tx-test-{trace_index}"):
+            client = TransactionClient(collector)
+            transactions = rng.randint(
+                config.min_transactions_per_trace, config.max_transactions_per_trace
+            )
+            for _ in range(transactions):
+                for _ in range(rng.randint(0, config.noise_events_between)):
+                    collector.record(rng.choice(SERVER_NOISE_EVENTS))
+                work = [
+                    rng.choice(CLIENT_WORK_EVENTS)
+                    for _ in range(rng.randint(1, config.max_work_events))
+                ]
+                commit = rng.random() >= config.rollback_probability
+                client.run_transaction(commit=commit, work=work)
+            for _ in range(rng.randint(0, config.noise_events_between)):
+                collector.record(rng.choice(SERVER_NOISE_EVENTS))
+
+    return collector.to_database()
+
+
+@dataclass(frozen=True)
+class SecurityWorkloadConfig:
+    """Shape of the simulated security-component test suite."""
+
+    num_traces: int = 24
+    min_scenarios_per_trace: int = 1
+    max_scenarios_per_trace: int = 2
+    login_failure_probability: float = 0.15
+    unavailable_trace_fraction: float = 0.125
+    trailing_noise_probability: float = 0.5
+    noise_events_between: int = 2
+    seed: int = 99
+
+    def __post_init__(self) -> None:
+        if self.num_traces < 1:
+            raise ConfigurationError("num_traces must be >= 1")
+        if not (1 <= self.min_scenarios_per_trace <= self.max_scenarios_per_trace):
+            raise ConfigurationError("scenarios-per-trace bounds are inconsistent")
+        for name in (
+            "login_failure_probability",
+            "unavailable_trace_fraction",
+            "trailing_noise_probability",
+        ):
+            value = getattr(self, name)
+            if not (0.0 <= value <= 1.0):
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+
+
+def generate_security_traces(
+    config: Optional[SecurityWorkloadConfig] = None,
+) -> SequenceDatabase:
+    """Run the simulated security test suite and return its traces.
+
+    The workload mixes three scenario kinds:
+
+    * *successful authentications* — record the full Figure 5 behaviour;
+    * *failed logins* — record the premise and the initialize/login/abort
+      prefix only, lowering the mined rule's confidence below 100%;
+    * *configuration-unavailable traces* — record only
+      ``XmlLoginCI.getConfEntry``; these traces keep the statistics of the
+      Figure 5 rule distinct from the coarser one-event-premise variant.
+
+    Roughly half of the successful scenarios end the trace immediately after
+    the last credential access so that no longer-consequent rule can carry
+    identical statistics.
+    """
+    config = config or SecurityWorkloadConfig()
+    rng = random.Random(config.seed)
+    collector = TraceCollector()
+    unavailable_traces = max(1, int(round(config.unavailable_trace_fraction * config.num_traces)))
+
+    for trace_index in range(config.num_traces):
+        with collector.trace(f"sec-test-{trace_index}"):
+            service = JaasSecurityService(collector)
+            if trace_index < unavailable_traces:
+                # Authentication service not configured: the conf-entry lookup
+                # fails and nothing JAAS-related follows.
+                service.authenticate(entry_name="missing-domain")
+                collector.record(rng.choice(SECURITY_NOISE_EVENTS))
+                continue
+
+            scenarios = rng.randint(
+                config.min_scenarios_per_trace, config.max_scenarios_per_trace
+            )
+            for scenario_index in range(scenarios):
+                for _ in range(rng.randint(0, config.noise_events_between)):
+                    collector.record(rng.choice(SECURITY_NOISE_EVENTS))
+                valid = rng.random() >= config.login_failure_probability
+                service.authenticate(valid_credentials=valid, uses=2)
+                is_last_scenario = scenario_index == scenarios - 1
+                if not is_last_scenario or rng.random() < config.trailing_noise_probability:
+                    collector.record(rng.choice(SECURITY_NOISE_EVENTS))
+
+    return collector.to_database()
+
+
+def generate_case_study_traces(
+    transaction_config: Optional[TransactionWorkloadConfig] = None,
+    security_config: Optional[SecurityWorkloadConfig] = None,
+) -> SequenceDatabase:
+    """Both components' test suites combined into one trace database."""
+    combined = SequenceDatabase()
+    for database in (
+        generate_transaction_traces(transaction_config),
+        generate_security_traces(security_config),
+    ):
+        for index in range(len(database)):
+            combined.add(list(database[index]), name=database.name(index))
+    return combined

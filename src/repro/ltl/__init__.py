@@ -1,0 +1,33 @@
+"""Linear Temporal Logic support (Section 3.3, Tables 1 and 2).
+
+The package provides the LTL AST, a parser for the paper's textual notation,
+finite-trace semantics, translation between recurrent rules and LTL, and the
+English rendering used to regenerate Table 1.
+"""
+
+from .ast import And, Atom, Finally, Formula, Globally, Implies, Next, WeakNext, atoms, depth
+from .parser import parse_ltl
+from .pretty import describe_rule, explain
+from .semantics import holds
+from .translate import consequent_to_ltl, is_minable, ltl_to_rule, rule_to_ltl
+
+__all__ = [
+    "And",
+    "Atom",
+    "Finally",
+    "Formula",
+    "Globally",
+    "Implies",
+    "Next",
+    "WeakNext",
+    "atoms",
+    "depth",
+    "parse_ltl",
+    "describe_rule",
+    "explain",
+    "holds",
+    "consequent_to_ltl",
+    "is_minable",
+    "ltl_to_rule",
+    "rule_to_ltl",
+]

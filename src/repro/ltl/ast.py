@@ -1,0 +1,153 @@
+"""Linear Temporal Logic abstract syntax (Section 3.3).
+
+Only the fragment the paper uses is modelled: atomic events, conjunction,
+implication and the temporal operators ``G`` (globally), ``F`` (finally /
+eventually) and ``X`` (next).  Formulae are immutable, hashable and render
+to the paper's textual notation via ``str()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from ..core.events import EventLabel
+
+
+class Formula:
+    """Base class for LTL formulae."""
+
+    def __and__(self, other: "Formula") -> "And":
+        return And(self, other)
+
+    def implies(self, other: "Formula") -> "Implies":
+        """Build ``self -> other``."""
+        return Implies(self, other)
+
+    def globally(self) -> "Globally":
+        """Wrap the formula in the ``G`` operator."""
+        return Globally(self)
+
+    def eventually(self) -> "Finally":
+        """Wrap the formula in the ``F`` operator."""
+        return Finally(self)
+
+    def next(self) -> "Next":
+        """Wrap the formula in the ``X`` operator."""
+        return Next(self)
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """An atomic proposition: "the current event is ``event``"."""
+
+    event: EventLabel
+
+    def __str__(self) -> str:
+        return str(self.event)
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction ``left /\\ right``."""
+
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} /\\ {self.right})"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Implication ``left -> right``."""
+
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} -> {self.right})"
+
+
+@dataclass(frozen=True)
+class Globally(Formula):
+    """``G(operand)``: the operand holds at every point from now on."""
+
+    operand: Formula
+
+    def __str__(self) -> str:
+        return f"G({self.operand})"
+
+
+@dataclass(frozen=True)
+class Finally(Formula):
+    """``F(operand)``: the operand holds now or at some future point."""
+
+    operand: Formula
+
+    def __str__(self) -> str:
+        return f"F({self.operand})"
+
+
+def _render_next(operand: Formula) -> str:
+    operand_text = str(operand)
+    # The paper writes ``XF(e)`` / ``XG(...)`` without parentheses around the
+    # chained temporal operator; mirror that compact rendering.
+    if isinstance(operand, (Finally, Globally, Next, WeakNext)):
+        return f"X{operand_text}"
+    return f"X({operand_text})"
+
+
+@dataclass(frozen=True)
+class Next(Formula):
+    """``X(operand)``: a next event exists and the operand holds there (strong next)."""
+
+    operand: Formula
+
+    def __str__(self) -> str:
+        return _render_next(self.operand)
+
+
+@dataclass(frozen=True)
+class WeakNext(Formula):
+    """Weak next: the operand holds at the next event *if one exists*.
+
+    Over infinite paths (the paper's setting) ``X`` and the weak next
+    coincide, and the paper writes both as ``X``.  On finite traces they
+    differ exactly at the last event; the rule translation uses the weak
+    variant in the ``XG`` positions (nothing after the trace ends can
+    re-trigger the premise) and the strong variant in the ``XF`` positions
+    (the consequent genuinely has to happen).  Rendering is identical to
+    ``X`` to match the paper's notation.
+    """
+
+    operand: Formula
+
+    def __str__(self) -> str:
+        return _render_next(self.operand)
+
+
+#: Formulae that wrap exactly one operand.
+UnaryFormula = Union[Globally, Finally, Next, WeakNext]
+
+
+def atoms(formula: Formula) -> Tuple[EventLabel, ...]:
+    """All atomic events mentioned by ``formula``, left to right (with repeats)."""
+    if isinstance(formula, Atom):
+        return (formula.event,)
+    if isinstance(formula, (And, Implies)):
+        return atoms(formula.left) + atoms(formula.right)
+    if isinstance(formula, (Globally, Finally, Next, WeakNext)):
+        return atoms(formula.operand)
+    raise TypeError(f"not an LTL formula: {formula!r}")
+
+
+def depth(formula: Formula) -> int:
+    """Nesting depth of the formula (atoms have depth 1)."""
+    if isinstance(formula, Atom):
+        return 1
+    if isinstance(formula, (And, Implies)):
+        return 1 + max(depth(formula.left), depth(formula.right))
+    if isinstance(formula, (Globally, Finally, Next, WeakNext)):
+        return 1 + depth(formula.operand)
+    raise TypeError(f"not an LTL formula: {formula!r}")

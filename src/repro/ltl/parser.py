@@ -1,0 +1,142 @@
+"""A small parser for the paper's LTL notation.
+
+Accepts strings such as ``"G(lock -> XF(unlock))"`` or
+``"G(a -> XG(b -> XF(c /\\ XF(d))))"`` and returns the corresponding
+:class:`~repro.ltl.ast.Formula`.  The grammar (implication is
+right-associative and binds weaker than conjunction, temporal operators bind
+tightest)::
+
+    formula     := implication
+    implication := conjunction ('->' implication)?
+    conjunction := unary (('/\\' | '&&' | '∧') conjunction)?
+    unary       := OPCHAIN unary | primary        # OPCHAIN is a run of G/F/X
+    primary     := '(' formula ')' | ATOM
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+from ..core.errors import DataFormatError
+from .ast import And, Atom, Finally, Formula, Globally, Implies, Next, WeakNext
+
+_TOKEN_PATTERN = re.compile(
+    r"\s*(?:(?P<lparen>\()|(?P<rparen>\))|(?P<implies>->|→)|"
+    r"(?P<and>/\\|&&|∧)|(?P<atom>[A-Za-z_][A-Za-z0-9_.$<>:]*))"
+)
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise DataFormatError(f"cannot tokenize LTL text near: {remainder[:20]!r}")
+        position = match.end()
+        for kind in ("lparen", "rparen", "implies", "and", "atom"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append(_Token(kind, value))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def parse(self) -> Formula:
+        formula = self._implication()
+        if self._peek() is not None:
+            raise DataFormatError(f"unexpected trailing LTL tokens: {self._peek()!r}")
+        return formula
+
+    # -- helpers -------------------------------------------------------- #
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise DataFormatError("unexpected end of LTL text")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._advance()
+        if token.kind != kind:
+            raise DataFormatError(f"expected {kind} but found {token.text!r}")
+        return token
+
+    # -- grammar -------------------------------------------------------- #
+    def _implication(self) -> Formula:
+        left = self._conjunction()
+        token = self._peek()
+        if token is not None and token.kind == "implies":
+            self._advance()
+            return Implies(left, self._implication())
+        return left
+
+    def _conjunction(self) -> Formula:
+        left = self._unary()
+        token = self._peek()
+        if token is not None and token.kind == "and":
+            self._advance()
+            return And(left, self._conjunction())
+        return left
+
+    def _unary(self) -> Formula:
+        token = self._peek()
+        if (
+            token is not None
+            and token.kind == "atom"
+            and re.fullmatch(r"[GFX]+", token.text)
+            and self._index + 1 < len(self._tokens)
+            and self._tokens[self._index + 1].kind in ("lparen", "atom")
+        ):
+            self._advance()
+            operand = self._unary()
+            for operator in reversed(token.text):
+                if operator == "G":
+                    operand = Globally(operand)
+                elif operator == "F":
+                    operand = Finally(operand)
+                elif isinstance(operand, Globally):
+                    # ``X`` directly in front of ``G`` is parsed as the weak
+                    # next, matching the formulae produced by rule_to_ltl.
+                    operand = WeakNext(operand)
+                else:
+                    operand = Next(operand)
+            return operand
+        return self._primary()
+
+    def _primary(self) -> Formula:
+        token = self._advance()
+        if token.kind == "lparen":
+            formula = self._implication()
+            self._expect("rparen")
+            return formula
+        if token.kind == "atom":
+            return Atom(token.text)
+        raise DataFormatError(f"unexpected LTL token: {token.text!r}")
+
+
+def parse_ltl(text: str) -> Formula:
+    """Parse the paper's textual LTL notation into a :class:`Formula`."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise DataFormatError("empty LTL text")
+    return _Parser(tokens).parse()

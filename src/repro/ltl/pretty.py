@@ -1,0 +1,69 @@
+"""English rendering of LTL formulae, mirroring the paper's Table 1.
+
+The four rows of Table 1 are instances of three shapes:
+
+* ``F(e)`` — "Eventually ``e`` is called";
+* ``XF(e)`` — "From the next event onwards, eventually ``e`` is called";
+* ``G(rule)`` where ``rule`` is in the minable fragment — "Globally whenever
+  ``p1`` followed by ... are called, then from the next event onwards,
+  eventually ``q1`` followed by ... are called".
+
+Anything else falls back to a structural rendering.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence as TypingSequence
+
+from ..core.errors import PatternError
+from ..core.events import EventLabel
+from .ast import Atom, Finally, Formula, Globally, Next
+from .translate import ltl_to_rule
+
+
+def _join_events(events: TypingSequence[EventLabel]) -> str:
+    names = [str(event) for event in events]
+    if len(names) == 1:
+        return names[0]
+    return " followed by ".join(names)
+
+
+def _verb(events: TypingSequence[EventLabel]) -> str:
+    return "is called" if len(events) == 1 else "are called"
+
+
+def explain(formula: Formula) -> str:
+    """An English sentence describing ``formula`` in the style of Table 1."""
+    if isinstance(formula, Finally) and isinstance(formula.operand, Atom):
+        event = formula.operand.event
+        return f"Eventually {event} is called"
+    if (
+        isinstance(formula, Next)
+        and isinstance(formula.operand, Finally)
+        and isinstance(formula.operand.operand, Atom)
+    ):
+        event = formula.operand.operand.event
+        return f"From the next event onwards, eventually {event} is called"
+    if isinstance(formula, Globally):
+        try:
+            premise, consequent = ltl_to_rule(formula)
+        except PatternError:
+            pass
+        else:
+            return (
+                f"Globally whenever {_join_events(premise)} {_verb(premise)}, "
+                f"then from the next event onwards, eventually "
+                f"{_join_events(consequent)} {_verb(consequent)}"
+            )
+    return f"The property {formula} holds"
+
+
+def describe_rule(
+    premise: TypingSequence[EventLabel], consequent: TypingSequence[EventLabel]
+) -> str:
+    """The paper's informal reading of a recurrent rule."""
+    return (
+        f"Whenever {_join_events(premise)} {'has' if len(premise) == 1 else 'have'} "
+        f"just occurred, eventually {_join_events(consequent)} "
+        f"{'occurs' if len(consequent) == 1 else 'occur'}"
+    )

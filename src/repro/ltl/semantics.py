@@ -1,0 +1,81 @@
+"""Finite-trace semantics for the paper's LTL fragment.
+
+The paper interprets LTL over program traces, which are finite.  The usual
+finite-trace reading is used:
+
+* an atom holds at position ``i`` iff the event at ``i`` equals it;
+* ``X φ`` holds at ``i`` iff position ``i+1`` exists and ``φ`` holds there;
+* ``F φ`` holds at ``i`` iff ``φ`` holds at some position ``j >= i``;
+* ``G φ`` holds at ``i`` iff ``φ`` holds at every position ``j >= i``
+  (vacuously true past the end of the trace);
+* boolean connectives are as usual.
+
+``holds(formula, trace)`` evaluates at position 0.  Evaluation memoises on
+``(formula, position)`` so that the nested ``G``/``F`` translations of long
+rules stay polynomial in the trace length.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence as TypingSequence, Tuple
+
+from ..core.events import EventLabel
+from .ast import And, Atom, Finally, Formula, Globally, Implies, Next, WeakNext
+
+
+def holds(formula: Formula, trace: TypingSequence[EventLabel], position: int = 0) -> bool:
+    """Whether ``formula`` holds on ``trace`` at ``position`` (default: the start)."""
+    memo: Dict[Tuple[int, int], bool] = {}
+    return _evaluate(formula, tuple(trace), position, memo)
+
+
+def _evaluate(
+    formula: Formula,
+    trace: Tuple[EventLabel, ...],
+    position: int,
+    memo: Dict[Tuple[int, int], bool],
+) -> bool:
+    key = (id(formula), position)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    result = _evaluate_uncached(formula, trace, position, memo)
+    memo[key] = result
+    return result
+
+
+def _evaluate_uncached(
+    formula: Formula,
+    trace: Tuple[EventLabel, ...],
+    position: int,
+    memo: Dict[Tuple[int, int], bool],
+) -> bool:
+    if isinstance(formula, Atom):
+        return position < len(trace) and trace[position] == formula.event
+    if isinstance(formula, And):
+        return _evaluate(formula.left, trace, position, memo) and _evaluate(
+            formula.right, trace, position, memo
+        )
+    if isinstance(formula, Implies):
+        return (not _evaluate(formula.left, trace, position, memo)) or _evaluate(
+            formula.right, trace, position, memo
+        )
+    if isinstance(formula, Next):
+        return position + 1 < len(trace) and _evaluate(
+            formula.operand, trace, position + 1, memo
+        )
+    if isinstance(formula, WeakNext):
+        return position + 1 >= len(trace) or _evaluate(
+            formula.operand, trace, position + 1, memo
+        )
+    if isinstance(formula, Finally):
+        return any(
+            _evaluate(formula.operand, trace, later, memo)
+            for later in range(position, len(trace))
+        )
+    if isinstance(formula, Globally):
+        return all(
+            _evaluate(formula.operand, trace, later, memo)
+            for later in range(position, len(trace))
+        )
+    raise TypeError(f"not an LTL formula: {formula!r}")

@@ -1,0 +1,89 @@
+"""Translation between recurrent rules and LTL formulae (Table 2 / Section 3.3).
+
+The paper's BNF for minable LTL expressions is::
+
+    rules   := G(prepost)
+    prepost := event -> post | event -> XG(prepost)
+    post    := XF(event) | XF(event /\\ XF(post))
+
+so a rule ``<p1, ..., pn> -> <q1, ..., qm>`` becomes::
+
+    G(p1 -> XG(p2 -> ... XG(pn -> XF(q1 /\\ XF(q2 /\\ ... XF(qm)))) ...))
+
+:func:`rule_to_ltl` builds that formula and :func:`ltl_to_rule` inverts it,
+raising :class:`~repro.core.errors.PatternError` for formulae outside the
+fragment.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence as TypingSequence, Tuple
+
+from ..core.errors import PatternError
+from ..core.events import EventLabel
+from .ast import And, Atom, Finally, Formula, Globally, Implies, Next, WeakNext
+
+
+def consequent_to_ltl(consequent: TypingSequence[EventLabel]) -> Formula:
+    """The ``post`` production: ``XF(q1 /\\ XF(q2 /\\ ... XF(qm)))``."""
+    if not consequent:
+        raise PatternError("a rule consequent must contain at least one event")
+    formula: Formula = Next(Finally(Atom(consequent[-1])))
+    for event in reversed(consequent[:-1]):
+        formula = Next(Finally(And(Atom(event), formula)))
+    return formula
+
+
+def rule_to_ltl(
+    premise: TypingSequence[EventLabel], consequent: TypingSequence[EventLabel]
+) -> Globally:
+    """Translate ``premise -> consequent`` into its LTL form (Table 2)."""
+    if not premise:
+        raise PatternError("a rule premise must contain at least one event")
+    body: Formula = Implies(Atom(premise[-1]), consequent_to_ltl(consequent))
+    for event in reversed(premise[:-1]):
+        # The weak next: over the paper's infinite paths X and the weak next
+        # coincide; on finite traces the premise cannot re-trigger past the
+        # end of the trace, which is exactly what the weak variant expresses.
+        body = Implies(Atom(event), WeakNext(Globally(body)))
+    return Globally(body)
+
+
+def _parse_consequent(formula: Formula) -> Tuple[EventLabel, ...]:
+    """Invert the ``post`` production; raises PatternError on other shapes."""
+    if not isinstance(formula, Next) or not isinstance(formula.operand, Finally):
+        raise PatternError(f"not a rule consequent: {formula}")
+    inner = formula.operand.operand
+    if isinstance(inner, Atom):
+        return (inner.event,)
+    if isinstance(inner, And) and isinstance(inner.left, Atom):
+        return (inner.left.event,) + _parse_consequent(inner.right)
+    raise PatternError(f"not a rule consequent: {formula}")
+
+
+def _parse_prepost(formula: Formula) -> Tuple[Tuple[EventLabel, ...], Tuple[EventLabel, ...]]:
+    """Invert the ``prepost`` production."""
+    if not isinstance(formula, Implies) or not isinstance(formula.left, Atom):
+        raise PatternError(f"not a rule body: {formula}")
+    event = formula.left.event
+    right = formula.right
+    if isinstance(right, (Next, WeakNext)) and isinstance(right.operand, Globally):
+        premise, consequent = _parse_prepost(right.operand.operand)
+        return (event,) + premise, consequent
+    return (event,), _parse_consequent(right)
+
+
+def ltl_to_rule(formula: Formula) -> Tuple[Tuple[EventLabel, ...], Tuple[EventLabel, ...]]:
+    """Recover ``(premise, consequent)`` from a formula in the minable fragment."""
+    if not isinstance(formula, Globally):
+        raise PatternError(f"a minable rule must be wrapped in G(...): {formula}")
+    return _parse_prepost(formula.operand)
+
+
+def is_minable(formula: Formula) -> bool:
+    """Whether ``formula`` belongs to the paper's minable LTL fragment."""
+    try:
+        ltl_to_rule(formula)
+    except PatternError:
+        return False
+    return True

@@ -1,0 +1,40 @@
+"""Iterative pattern mining (Section 4 of the paper).
+
+Public entry points:
+
+* :class:`FullIterativePatternMiner` / :func:`mine_frequent_patterns` — the
+  baseline that emits every frequent iterative pattern;
+* :class:`ClosedIterativePatternMiner` / :func:`mine_closed_patterns` — the
+  paper's closed-pattern miner;
+* :class:`GeneratorPatternMiner` / :func:`mine_generators` — the
+  future-work generator miner.
+"""
+
+from .closed_miner import ClosedIterativePatternMiner, mine_closed_patterns
+from .closure import (
+    backward_closure_violation,
+    forward_closure_violation,
+    infix_closure_violation,
+    is_closed,
+)
+from .config import IterativeMiningConfig
+from .full_miner import FullIterativePatternMiner, mine_frequent_patterns
+from .generators import GeneratorPatternMiner, mine_generators, propose_generator_rules
+from .result import MinedPattern, PatternMiningResult
+
+__all__ = [
+    "ClosedIterativePatternMiner",
+    "mine_closed_patterns",
+    "backward_closure_violation",
+    "forward_closure_violation",
+    "infix_closure_violation",
+    "is_closed",
+    "IterativeMiningConfig",
+    "FullIterativePatternMiner",
+    "mine_frequent_patterns",
+    "GeneratorPatternMiner",
+    "mine_generators",
+    "propose_generator_rules",
+    "MinedPattern",
+    "PatternMiningResult",
+]

@@ -1,0 +1,113 @@
+"""Mining *generators* of iterative patterns (Section 8, future work).
+
+The paper's future-work section proposes mining generators: minimal members
+of the equivalence classes of frequent patterns.  Operationally (and dually
+to the single-insertion closedness check) a frequent pattern ``P`` is a
+**generator** when no pattern obtained from ``P`` by deleting a single event
+has the same support.  Pairing generators (minimal pre-conditions) with
+closed patterns (maximal post-conditions) yields rules with minimal premises
+and maximal consequents, which is exactly how
+:func:`propose_generator_rules` combines the two sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence as TypingSequence, Tuple
+
+from ..core.events import EventLabel
+from ..core.instances import find_instances
+from ..core.pattern import is_proper_subsequence
+from ..core.sequence import SequenceDatabase
+from .config import IterativeMiningConfig
+from .full_miner import FullIterativePatternMiner
+from .result import MinedPattern, PatternMiningResult
+
+
+def _single_deletions(pattern: Tuple[EventLabel, ...]) -> Iterable[Tuple[EventLabel, ...]]:
+    """All distinct patterns obtained by deleting exactly one event."""
+    seen = set()
+    for index in range(len(pattern)):
+        candidate = pattern[:index] + pattern[index + 1 :]
+        if candidate and candidate not in seen:
+            seen.add(candidate)
+            yield candidate
+
+
+class GeneratorPatternMiner:
+    """Mine generator iterative patterns.
+
+    The miner first obtains the full frequent set (reusing
+    :class:`~repro.patterns.full_miner.FullIterativePatternMiner`) and then
+    keeps the patterns none of whose single-event deletions has the same
+    support.  Deletion supports are computed with the exact instance oracle
+    and memoised, because a deletion of a frequent pattern need not itself be
+    frequent (instance support is not anti-monotone under deletion).
+    """
+
+    def __init__(self, config: IterativeMiningConfig) -> None:
+        self.config = config
+
+    def mine(self, database: SequenceDatabase) -> PatternMiningResult:
+        full = FullIterativePatternMiner(self.config).mine(database)
+        return self.filter_generators(database, full)
+
+    def filter_generators(
+        self, database: SequenceDatabase, frequent: PatternMiningResult
+    ) -> PatternMiningResult:
+        """Keep only generator patterns from an existing frequent-pattern result."""
+        encoded = database.encoded
+        known_support: Dict[Tuple[EventLabel, ...], int] = {
+            pattern.events: pattern.support for pattern in frequent.patterns
+        }
+        oracle_cache: Dict[Tuple[EventLabel, ...], int] = {}
+
+        def support_of(events: Tuple[EventLabel, ...]) -> int:
+            if events in known_support:
+                return known_support[events]
+            if events not in oracle_cache:
+                encoded_pattern = database.vocabulary.encode(events)
+                oracle_cache[events] = len(find_instances(encoded, encoded_pattern))
+            return oracle_cache[events]
+
+        result = PatternMiningResult(
+            stats=frequent.stats, min_support=frequent.min_support, closed_only=False
+        )
+        for pattern in frequent.patterns:
+            is_generator = all(
+                support_of(deletion) != pattern.support
+                for deletion in _single_deletions(pattern.events)
+            )
+            if is_generator:
+                result.patterns.append(pattern)
+            else:
+                result.stats.bump("pruned_generator")
+        return result
+
+
+def mine_generators(
+    database: SequenceDatabase, min_support: float = 2.0, **kwargs: object
+) -> PatternMiningResult:
+    """Convenience wrapper: mine generator iterative patterns."""
+    config = IterativeMiningConfig(min_support=min_support, **kwargs)  # type: ignore[arg-type]
+    return GeneratorPatternMiner(config).mine(database)
+
+
+def propose_generator_rules(
+    generators: PatternMiningResult, closed: PatternMiningResult
+) -> List[Tuple[MinedPattern, MinedPattern]]:
+    """Pair generators with closed patterns of the same support (future work).
+
+    Each returned pair ``(generator, closed_pattern)`` satisfies: the
+    generator is a proper subsequence of the closed pattern and both have the
+    same support — giving a candidate rule with a minimal pre-condition and a
+    maximal post-condition, as sketched in Section 8 of the paper.
+    """
+    pairs: List[Tuple[MinedPattern, MinedPattern]] = []
+    closed_by_support: Dict[int, List[MinedPattern]] = {}
+    for pattern in closed.patterns:
+        closed_by_support.setdefault(pattern.support, []).append(pattern)
+    for generator in generators.patterns:
+        for candidate in closed_by_support.get(generator.support, []):
+            if is_proper_subsequence(generator.events, candidate.events):
+                pairs.append((generator, candidate))
+    return pairs

@@ -1,0 +1,170 @@
+"""Shared depth-first search used by the full and closed iterative-pattern miners.
+
+The search grows patterns by forward extension only.  This is complete
+because prefixes of frequent patterns are frequent (Theorem 1 — the apriori
+property — which holds because truncating every instance of ``P`` to its
+first ``k`` events yields distinct instances of ``P``'s length-``k`` prefix).
+Each frequent pattern is therefore reached exactly once, along the chain of
+its own prefixes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.events import EventId
+from ..core.instances import PatternInstance
+from ..core.positions import PositionIndex
+from ..core.projection import forward_extensions, singleton_instances
+from ..core.sequence import SequenceDatabase
+from ..core.stats import MiningStats
+from .config import IterativeMiningConfig
+from .result import MinedPattern, PatternMiningResult
+
+
+class IterativePatternMinerBase:
+    """Template-method base class for the iterative-pattern miners."""
+
+    closed_only = False
+
+    def __init__(self, config: IterativeMiningConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def mine(self, database: SequenceDatabase) -> PatternMiningResult:
+        """Mine the database and return all emitted patterns."""
+        stats = MiningStats()
+        stats.start()
+        result = PatternMiningResult(stats=stats, closed_only=self.closed_only)
+        result.min_support = database.absolute_support(self.config.min_support)
+
+        encoded = database.encoded
+        index = PositionIndex(encoded)
+        self._prepare(encoded, index, result)
+
+        singletons = singleton_instances(encoded)
+        for event in sorted(singletons):
+            instances = singletons[event]
+            if len(instances) < result.min_support:
+                stats.pruned_support += 1
+                continue
+            self._grow(database, encoded, index, (event,), instances, result)
+
+        stats.stop()
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Hooks
+    # ------------------------------------------------------------------ #
+    def _prepare(
+        self,
+        encoded: List[Tuple[EventId, ...]],
+        index: PositionIndex,
+        result: PatternMiningResult,
+    ) -> None:
+        """Hook called once before the search starts."""
+
+    def _should_emit(
+        self,
+        encoded: List[Tuple[EventId, ...]],
+        index: PositionIndex,
+        pattern: Tuple[EventId, ...],
+        instances: List[PatternInstance],
+        extensions: Dict[EventId, List[PatternInstance]],
+        result: PatternMiningResult,
+    ) -> bool:
+        """Decide whether the current frequent pattern is part of the output."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def _grow(
+        self,
+        database: SequenceDatabase,
+        encoded: List[Tuple[EventId, ...]],
+        index: PositionIndex,
+        pattern: Tuple[EventId, ...],
+        instances: List[PatternInstance],
+        result: PatternMiningResult,
+    ) -> None:
+        stats = result.stats
+        stats.visited += 1
+
+        extensions = forward_extensions(encoded, index, pattern, instances)
+
+        if self._should_emit(encoded, index, pattern, instances, extensions, result):
+            self._emit(database, pattern, instances, result)
+        else:
+            stats.pruned_closure += 1
+
+        if (
+            self.config.max_pattern_length is not None
+            and len(pattern) >= self.config.max_pattern_length
+        ):
+            return
+
+        explore = sorted(extensions)
+        if self.config.adjacent_absorption_pruning:
+            absorbed = self._adjacent_absorbing_event(encoded, instances)
+            if (
+                absorbed is not None
+                and absorbed in extensions
+                and len(extensions[absorbed]) == len(instances)
+            ):
+                stats.bump("absorption_pruned_branches", len(extensions) - 1)
+                explore = [absorbed]
+
+        for event in explore:
+            extension_instances = extensions[event]
+            if len(extension_instances) < result.min_support:
+                stats.pruned_support += 1
+                continue
+            self._grow(
+                database,
+                encoded,
+                index,
+                pattern + (event,),
+                extension_instances,
+                result,
+            )
+
+    @staticmethod
+    def _adjacent_absorbing_event(
+        encoded: List[Tuple[EventId, ...]], instances: List[PatternInstance]
+    ) -> "EventId | None":
+        """The event immediately following *every* instance, if one exists.
+
+        When such an event exists, every instance forward-extends with it at
+        the adjacent position, so restricting the search to that extension
+        follows the deterministic continuation of the pattern (see
+        ``IterativeMiningConfig.adjacent_absorption_pruning``).
+        """
+        absorbing: "EventId | None" = None
+        for instance in instances:
+            sequence = encoded[instance.sequence_index]
+            next_position = instance.end + 1
+            if next_position >= len(sequence):
+                return None
+            event = sequence[next_position]
+            if absorbing is None:
+                absorbing = event
+            elif absorbing != event:
+                return None
+        return absorbing
+
+    def _emit(
+        self,
+        database: SequenceDatabase,
+        pattern: Tuple[EventId, ...],
+        instances: List[PatternInstance],
+        result: PatternMiningResult,
+    ) -> None:
+        result.stats.emitted += 1
+        labels = database.vocabulary.decode(pattern)
+        kept_instances = tuple(instances) if self.config.collect_instances else ()
+        result.patterns.append(
+            MinedPattern(events=labels, support=len(instances), instances=kept_instances)
+        )

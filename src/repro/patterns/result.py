@@ -1,0 +1,96 @@
+"""Result containers for iterative-pattern mining."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence as TypingSequence, Tuple
+
+from ..core.events import EventLabel
+from ..core.instances import PatternInstance
+from ..core.pattern import format_pattern, is_subsequence
+from ..core.stats import MiningStats
+
+
+@dataclass(frozen=True)
+class MinedPattern:
+    """A single mined iterative pattern with its support and (optionally) instances."""
+
+    events: Tuple[EventLabel, ...]
+    support: int
+    instances: Tuple[PatternInstance, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __str__(self) -> str:
+        return f"{format_pattern(self.events)} (sup={self.support})"
+
+    def is_subpattern_of(self, other: "MinedPattern") -> bool:
+        """Whether this pattern is a subsequence of ``other``."""
+        return is_subsequence(self.events, other.events)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (instances are omitted)."""
+        return {"events": list(self.events), "support": self.support, "length": len(self.events)}
+
+
+@dataclass
+class PatternMiningResult:
+    """The outcome of one run of an iterative-pattern miner."""
+
+    patterns: List[MinedPattern] = field(default_factory=list)
+    stats: MiningStats = field(default_factory=MiningStats)
+    min_support: int = 0
+    closed_only: bool = False
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __iter__(self) -> Iterator[MinedPattern]:
+        return iter(self.patterns)
+
+    def support_of(self, events: TypingSequence[EventLabel]) -> Optional[int]:
+        """Support of an exact pattern in the result, or ``None`` if absent."""
+        target = tuple(events)
+        for pattern in self.patterns:
+            if pattern.events == target:
+                return pattern.support
+        return None
+
+    def contains(self, events: TypingSequence[EventLabel]) -> bool:
+        """Whether the exact pattern appears in the result."""
+        return self.support_of(events) is not None
+
+    def longest(self) -> Optional[MinedPattern]:
+        """The longest mined pattern (ties broken by higher support)."""
+        if not self.patterns:
+            return None
+        return max(self.patterns, key=lambda pattern: (len(pattern.events), pattern.support))
+
+    def sorted_by_support(self, descending: bool = True) -> List[MinedPattern]:
+        """Patterns sorted by support (then by length, then lexicographically)."""
+        return sorted(
+            self.patterns,
+            key=lambda pattern: (pattern.support, len(pattern.events), tuple(map(str, pattern.events))),
+            reverse=descending,
+        )
+
+    def patterns_containing(self, event: EventLabel) -> List[MinedPattern]:
+        """All mined patterns whose alphabet contains ``event``."""
+        return [pattern for pattern in self.patterns if event in pattern.events]
+
+    def maximal_patterns(self) -> List[MinedPattern]:
+        """Patterns that are not subsequences of any other mined pattern."""
+        maximal: List[MinedPattern] = []
+        for candidate in self.patterns:
+            dominated = any(
+                candidate is not other and candidate.is_subpattern_of(other)
+                for other in self.patterns
+            )
+            if not dominated:
+                maximal.append(candidate)
+        return maximal
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Tabular representation used by the reporting helpers."""
+        return [pattern.as_dict() for pattern in self.sorted_by_support()]

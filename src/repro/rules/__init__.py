@@ -1,0 +1,50 @@
+"""Recurrent rule mining (Section 5 of the paper).
+
+Public entry points:
+
+* :class:`FullRecurrentRuleMiner` / :func:`mine_all_rules` — the baseline
+  emitting every significant rule;
+* :class:`NonRedundantRecurrentRuleMiner` / :func:`mine_non_redundant_rules`
+  — the paper's non-redundant rule miner;
+* :func:`rule_statistics` — the oracle used to validate rule statistics;
+* :func:`filter_redundant` — the Definition 5.2 redundancy filter.
+"""
+
+from .config import RuleMiningConfig
+from .consequent_miner import ConsequentGrower, GrownRule
+from .full_miner import FullRecurrentRuleMiner, mine_all_rules
+from .nonredundant_miner import NonRedundantRecurrentRuleMiner, mine_non_redundant_rules
+from .premise_miner import MinedPremise, PremiseMiner
+from .redundancy import filter_redundant, find_redundant
+from .result import RuleMiningResult
+from .rule import RecurrentRule
+from .temporal_points import (
+    TemporalPoint,
+    earliest_embedding_end,
+    is_followed_by,
+    rule_statistics,
+    temporal_points,
+    temporal_points_in_sequence,
+)
+
+__all__ = [
+    "RuleMiningConfig",
+    "ConsequentGrower",
+    "GrownRule",
+    "FullRecurrentRuleMiner",
+    "mine_all_rules",
+    "NonRedundantRecurrentRuleMiner",
+    "mine_non_redundant_rules",
+    "MinedPremise",
+    "PremiseMiner",
+    "filter_redundant",
+    "find_redundant",
+    "RuleMiningResult",
+    "RecurrentRule",
+    "TemporalPoint",
+    "earliest_embedding_end",
+    "is_followed_by",
+    "rule_statistics",
+    "temporal_points",
+    "temporal_points_in_sequence",
+]

@@ -1,0 +1,195 @@
+"""Consequent growth for recurrent-rule mining (Steps 2–4 of Section 5).
+
+Given a premise and its temporal points, :class:`ConsequentGrower` explores
+the space of consequents depth-first.  Two facts drive the search:
+
+* **Confidence anti-monotonicity (Theorem 3).**  The temporal points of the
+  premise satisfied by ``post ++ <e>`` are a subset of those satisfied by
+  ``post``, so confidence can only drop along an extension; branches below
+  ``min_confidence`` are pruned.
+* **Incremental i-support.**  The occurrences of ``pre ++ post ++ <e>`` in a
+  sequence are exactly the occurrences of ``e`` after the earliest embedding
+  end of ``pre ++ post``; maintaining that end per sequence turns i-support
+  into a couple of binary searches per extension.
+
+The grower serves both miners: the non-redundant miner additionally asks it
+to suppress rules *dominated* by one of their own single-event consequent
+extensions (same i-support and confidence — redundant by Definition 5.2).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence as TypingSequence, Tuple
+
+from ..core.events import EventId
+from ..core.positions import PositionIndex
+from ..core.stats import MiningStats
+from .config import RuleMiningConfig
+from .temporal_points import temporal_points_in_sequence
+
+EncodedDatabase = TypingSequence[TypingSequence[EventId]]
+
+
+@dataclass(frozen=True)
+class GrownRule:
+    """One rule produced by the grower (premise implied by context)."""
+
+    consequent: Tuple[EventId, ...]
+    s_support: int
+    i_support: int
+    confidence: float
+
+
+@dataclass
+class _SearchNode:
+    """Mutable state for one consequent in the depth-first search."""
+
+    consequent: Tuple[EventId, ...]
+    # (sequence_index, temporal point position, current greedy match position)
+    alive_points: List[Tuple[int, int, int]]
+    # sequence_index -> earliest embedding end of premise ++ consequent
+    full_pattern_end: Dict[int, int]
+    i_support: int
+
+
+class ConsequentGrower:
+    """Grow consequents for one premise and yield the resulting rules."""
+
+    def __init__(
+        self,
+        encoded_db: EncodedDatabase,
+        index: PositionIndex,
+        premise: Tuple[EventId, ...],
+        premise_projections: TypingSequence[Tuple[int, int]],
+        config: RuleMiningConfig,
+        stats: Optional[MiningStats] = None,
+    ) -> None:
+        self.encoded_db = encoded_db
+        self.index = index
+        self.premise = premise
+        self.config = config
+        self.stats = stats if stats is not None else MiningStats()
+
+        self.s_support = len(premise_projections)
+        self._points: List[Tuple[int, int]] = []
+        for sequence_index, _ in premise_projections:
+            sequence = encoded_db[sequence_index]
+            for position in temporal_points_in_sequence(sequence, premise):
+                self._points.append((sequence_index, position))
+        self.total_points = len(self._points)
+        self._root_full_end: Dict[int, int] = {
+            sequence_index: position for sequence_index, position in premise_projections
+        }
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def grow(self, skip_dominated: bool = False) -> Iterator[GrownRule]:
+        """Yield every rule of this premise meeting the confidence threshold.
+
+        Rules failing ``min_i_support`` are filtered out (Step 4).  With
+        ``skip_dominated`` the grower omits rules whose single-event
+        consequent extension preserves both i-support and confidence — those
+        are redundant by Definition 5.2 and the extension itself is always
+        explored.
+        """
+        if self.total_points == 0:
+            return
+        root = _SearchNode(
+            consequent=(),
+            alive_points=[(s, p, p) for s, p in self._points],
+            full_pattern_end=dict(self._root_full_end),
+            i_support=0,
+        )
+        yield from self._grow(root, skip_dominated)
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def _grow(self, node: _SearchNode, skip_dominated: bool) -> Iterator[GrownRule]:
+        self.stats.visited += 1
+        max_length = self.config.max_consequent_length
+        at_length_cap = max_length is not None and len(node.consequent) >= max_length
+        # Children beyond the length cap can never be emitted, so they must
+        # not participate in the dominance check either (a rule may only be
+        # suppressed in favour of a rule that stays in the explored space).
+        children = {} if at_length_cap else self._expand(node)
+
+        if node.consequent:
+            confidence = len(node.alive_points) / self.total_points
+            dominated = skip_dominated and any(
+                child.i_support == node.i_support
+                and len(child.alive_points) == len(node.alive_points)
+                for child in children.values()
+            )
+            if dominated:
+                self.stats.pruned_redundancy += 1
+            elif node.i_support >= self.config.min_i_support:
+                self.stats.emitted += 1
+                yield GrownRule(
+                    consequent=node.consequent,
+                    s_support=self.s_support,
+                    i_support=node.i_support,
+                    confidence=confidence,
+                )
+
+        if at_length_cap:
+            return
+
+        min_alive = self.config.min_confidence * self.total_points
+        for event in sorted(children):
+            child = children[event]
+            # Theorem 3: confidence only drops along consequent extensions.
+            if len(child.alive_points) + 1e-9 < min_alive:
+                self.stats.pruned_confidence += 1
+                continue
+            yield from self._grow(child, skip_dominated)
+
+    def _expand(self, node: _SearchNode) -> Dict[EventId, _SearchNode]:
+        """Build the single-event extensions of ``node`` in one pass."""
+        children: Dict[EventId, _SearchNode] = {}
+
+        # Confidence side: advance the greedy match of each alive temporal
+        # point past every event occurring in its remaining suffix.
+        scan_cache: Dict[Tuple[int, int], Dict[EventId, int]] = {}
+        for sequence_index, point, match_position in node.alive_points:
+            key = (sequence_index, match_position)
+            first_after = scan_cache.get(key)
+            if first_after is None:
+                sequence = self.encoded_db[sequence_index]
+                first_after = {}
+                for position in range(match_position + 1, len(sequence)):
+                    event = sequence[position]
+                    if event not in first_after:
+                        first_after[event] = position
+                scan_cache[key] = first_after
+            for event, position in first_after.items():
+                child = children.get(event)
+                if child is None:
+                    child = _SearchNode(
+                        consequent=node.consequent + (event,),
+                        alive_points=[],
+                        full_pattern_end={},
+                        i_support=0,
+                    )
+                    children[event] = child
+                child.alive_points.append((sequence_index, point, position))
+
+        # i-support side: occurrences of premise ++ consequent ++ <e> are the
+        # occurrences of ``e`` after the earliest embedding end of the
+        # current full pattern, in every sequence where that pattern embeds.
+        for event, child in children.items():
+            i_support = 0
+            full_end: Dict[int, int] = {}
+            for sequence_index, end_position in node.full_pattern_end.items():
+                positions = self.index[sequence_index].positions_of(event)
+                cut = bisect_right(positions, end_position)
+                remaining = len(positions) - cut
+                if remaining:
+                    i_support += remaining
+                    full_end[sequence_index] = positions[cut]
+            child.i_support = i_support
+            child.full_pattern_end = full_end
+        return children

@@ -1,0 +1,95 @@
+"""Shared driver for the full and non-redundant recurrent-rule miners.
+
+Both miners follow the five-step recipe of Section 5: enumerate s-frequent
+premises (Theorem 2 pruning), compute their temporal points, grow consequents
+with confidence pruning (Theorem 3), filter by i-support, and finally filter
+redundant rules.  The only differences between the two miners are whether the
+consequent grower suppresses dominated rules early and whether the final
+Definition 5.2 sweep is applied; both choices live in class attributes.
+"""
+
+from __future__ import annotations
+
+from ..core.positions import PositionIndex
+from ..core.sequence import SequenceDatabase
+from ..core.stats import MiningStats
+from .config import RuleMiningConfig
+from .consequent_miner import ConsequentGrower
+from .premise_miner import PremiseMiner
+from .redundancy import filter_redundant
+from .result import RuleMiningResult
+from .rule import RecurrentRule
+
+
+class RecurrentRuleMinerBase:
+    """Template-method base class for the recurrent-rule miners."""
+
+    #: suppress rules dominated by their own consequent extension during growth
+    skip_dominated = False
+    #: apply the final Definition 5.2 redundancy sweep
+    apply_final_redundancy_filter = False
+    #: marker copied to the result object
+    non_redundant_only = False
+
+    def __init__(self, config: RuleMiningConfig) -> None:
+        self.config = config
+
+    def mine(self, database: SequenceDatabase) -> RuleMiningResult:
+        """Mine the database and return the (full or non-redundant) rule set."""
+        stats = MiningStats()
+        stats.start()
+
+        min_s_support = database.absolute_support(self.config.min_s_support)
+        result = RuleMiningResult(
+            stats=stats,
+            min_s_support=min_s_support,
+            min_i_support=self.config.min_i_support,
+            min_confidence=self.config.min_confidence,
+            non_redundant_only=self.non_redundant_only,
+        )
+
+        encoded = database.encoded
+        index = PositionIndex(encoded)
+        vocabulary = database.vocabulary
+
+        allowed_events = None
+        if self.config.allowed_premise_events is not None:
+            allowed_events = frozenset(
+                vocabulary.id_of(label)
+                for label in self.config.allowed_premise_events
+                if label in vocabulary
+            )
+        premise_miner = PremiseMiner(
+            min_s_support=min_s_support,
+            max_length=self.config.max_premise_length,
+            stats=stats,
+            allowed_events=allowed_events,
+        )
+        for premise in premise_miner.mine(encoded):
+            grower = ConsequentGrower(
+                encoded_db=encoded,
+                index=index,
+                premise=premise.pattern,
+                premise_projections=premise.projections,
+                config=self.config,
+                stats=stats,
+            )
+            premise_labels = vocabulary.decode(premise.pattern)
+            for grown in grower.grow(skip_dominated=self.skip_dominated):
+                result.rules.append(
+                    RecurrentRule(
+                        premise=premise_labels,
+                        consequent=vocabulary.decode(grown.consequent),
+                        s_support=grown.s_support,
+                        i_support=grown.i_support,
+                        confidence=grown.confidence,
+                    )
+                )
+
+        if self.apply_final_redundancy_filter:
+            kept, dropped = filter_redundant(result.rules)
+            result.rules = kept
+            stats.pruned_redundancy += len(dropped)
+
+        stats.stop()
+        return result

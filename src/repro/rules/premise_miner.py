@@ -1,0 +1,108 @@
+"""Premise generation for recurrent-rule mining (Step 1 of Section 5).
+
+Premises are patterns whose *sequence support* (number of sequences
+containing them as a subsequence) meets ``min_s_support``.  The search is a
+PrefixSpan-style depth-first pattern growth over earliest-position
+projections; the s-support apriori property (Theorem 2: extending a premise
+can only lower its sequence support) makes the pruning sound.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence as TypingSequence,
+    Tuple,
+)
+
+from ..core.events import EventId
+from ..core.stats import MiningStats
+
+EncodedDatabase = TypingSequence[TypingSequence[EventId]]
+
+
+class MinedPremise(NamedTuple):
+    """A premise candidate: the pattern, its s-support and its projections.
+
+    ``projections`` maps each supporting sequence index to the end position
+    of the earliest embedding of the premise in that sequence; the consequent
+    grower reuses it to seed the i-support recurrence.
+    """
+
+    pattern: Tuple[EventId, ...]
+    s_support: int
+    projections: Tuple[Tuple[int, int], ...]
+
+
+class PremiseMiner:
+    """Enumerate all premises with sequence support at least ``min_s_support``."""
+
+    def __init__(
+        self,
+        min_s_support: int,
+        max_length: Optional[int] = None,
+        stats: Optional[MiningStats] = None,
+        allowed_events: Optional[FrozenSet[EventId]] = None,
+    ) -> None:
+        self.min_s_support = max(1, min_s_support)
+        self.max_length = max_length
+        self.stats = stats if stats is not None else MiningStats()
+        self.allowed_events = allowed_events
+
+    def _is_allowed(self, event: EventId) -> bool:
+        return self.allowed_events is None or event in self.allowed_events
+
+    def mine(self, encoded_db: EncodedDatabase) -> Iterator[MinedPremise]:
+        """Yield every s-frequent premise, depth-first, shortest prefix first."""
+        initial: Dict[EventId, List[Tuple[int, int]]] = {}
+        for sequence_index, sequence in enumerate(encoded_db):
+            seen: Dict[EventId, int] = {}
+            for position, event in enumerate(sequence):
+                if event not in seen and self._is_allowed(event):
+                    seen[event] = position
+            for event, position in seen.items():
+                initial.setdefault(event, []).append((sequence_index, position))
+
+        for event in sorted(initial):
+            projections = initial[event]
+            if len(projections) < self.min_s_support:
+                self.stats.pruned_support += 1
+                continue
+            yield from self._grow(encoded_db, (event,), projections)
+
+    def _grow(
+        self,
+        encoded_db: EncodedDatabase,
+        pattern: Tuple[EventId, ...],
+        projections: List[Tuple[int, int]],
+    ) -> Iterator[MinedPremise]:
+        self.stats.visited += 1
+        yield MinedPremise(pattern, len(projections), tuple(projections))
+
+        if self.max_length is not None and len(pattern) >= self.max_length:
+            return
+
+        # Scan the projected suffixes once, recording for every candidate
+        # extension event its earliest position after the current embedding.
+        extensions: Dict[EventId, List[Tuple[int, int]]] = {}
+        for sequence_index, position in projections:
+            sequence = encoded_db[sequence_index]
+            seen: Dict[EventId, int] = {}
+            for next_position in range(position + 1, len(sequence)):
+                event = sequence[next_position]
+                if event not in seen and self._is_allowed(event):
+                    seen[event] = next_position
+            for event, next_position in seen.items():
+                extensions.setdefault(event, []).append((sequence_index, next_position))
+
+        for event in sorted(extensions):
+            extended_projections = extensions[event]
+            if len(extended_projections) < self.min_s_support:
+                self.stats.pruned_support += 1
+                continue
+            yield from self._grow(encoded_db, pattern + (event,), extended_projections)

@@ -1,0 +1,56 @@
+"""Rule redundancy filtering (Definition 5.2, Step 5).
+
+A rule ``RX`` is redundant when some other rule ``RY`` has the same
+s-support, i-support and confidence and the concatenation
+``premise ++ consequent`` of ``RX`` is a subsequence of that of ``RY``
+(with the tie broken towards the rule with the *shorter premise* when the
+concatenations coincide).  Redundancy is transitive along these chains, so
+filtering against the set of emitted rules removes exactly the redundant
+ones even when intermediate dominating rules were themselves suppressed
+early by the miner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from .rule import RecurrentRule
+
+
+def _statistics_key(rule: RecurrentRule) -> Tuple[int, int, float]:
+    return (rule.s_support, rule.i_support, round(rule.confidence, 12))
+
+
+def find_redundant(rules: Iterable[RecurrentRule]) -> List[RecurrentRule]:
+    """Return the rules that are redundant with respect to the given collection."""
+    rules = list(rules)
+    by_statistics: Dict[Tuple[int, int, float], List[RecurrentRule]] = {}
+    for rule in rules:
+        by_statistics.setdefault(_statistics_key(rule), []).append(rule)
+
+    redundant: List[RecurrentRule] = []
+    for rule in rules:
+        candidates = by_statistics.get(_statistics_key(rule), [])
+        if any(rule.is_redundant_with_respect_to(other) for other in candidates):
+            redundant.append(rule)
+    return redundant
+
+
+def filter_redundant(rules: Iterable[RecurrentRule]) -> Tuple[List[RecurrentRule], List[RecurrentRule]]:
+    """Split rules into ``(non_redundant, redundant)`` per Definition 5.2.
+
+    Only rules with identical statistics can make each other redundant, so
+    the comparison is restricted to statistics-equivalence classes; within a
+    class the subsequence check is quadratic, which is fine because the
+    classes of a non-redundant mining run are small.
+    """
+    rules = list(rules)
+    redundant_signatures = {rule.signature() for rule in find_redundant(rules)}
+    kept: List[RecurrentRule] = []
+    dropped: List[RecurrentRule] = []
+    for rule in rules:
+        if rule.signature() in redundant_signatures:
+            dropped.append(rule)
+        else:
+            kept.append(rule)
+    return kept, dropped

@@ -1,0 +1,71 @@
+"""Result container for recurrent-rule mining."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence as TypingSequence
+
+from ..core.events import EventLabel
+from ..core.stats import MiningStats
+from .rule import RecurrentRule
+
+
+@dataclass
+class RuleMiningResult:
+    """The outcome of one run of a recurrent-rule miner."""
+
+    rules: List[RecurrentRule] = field(default_factory=list)
+    stats: MiningStats = field(default_factory=MiningStats)
+    min_s_support: int = 0
+    min_i_support: int = 1
+    min_confidence: float = 0.0
+    non_redundant_only: bool = False
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self) -> Iterator[RecurrentRule]:
+        return iter(self.rules)
+
+    def find(
+        self,
+        premise: TypingSequence[EventLabel],
+        consequent: TypingSequence[EventLabel],
+    ) -> Optional[RecurrentRule]:
+        """The mined rule with exactly this premise and consequent, if any."""
+        signature = (tuple(premise), tuple(consequent))
+        for rule in self.rules:
+            if rule.signature() == signature:
+                return rule
+        return None
+
+    def contains(
+        self,
+        premise: TypingSequence[EventLabel],
+        consequent: TypingSequence[EventLabel],
+    ) -> bool:
+        """Whether the exact rule appears in the result."""
+        return self.find(premise, consequent) is not None
+
+    def rules_with_premise(self, premise: TypingSequence[EventLabel]) -> List[RecurrentRule]:
+        """All mined rules whose premise equals ``premise``."""
+        target = tuple(premise)
+        return [rule for rule in self.rules if rule.premise == target]
+
+    def sorted_by_confidence(self, descending: bool = True) -> List[RecurrentRule]:
+        """Rules sorted by (confidence, i-support, total length)."""
+        return sorted(
+            self.rules,
+            key=lambda rule: (rule.confidence, rule.i_support, len(rule)),
+            reverse=descending,
+        )
+
+    def longest(self) -> Optional[RecurrentRule]:
+        """The rule with the most events (ties broken by confidence)."""
+        if not self.rules:
+            return None
+        return max(self.rules, key=lambda rule: (len(rule), rule.confidence))
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Tabular representation used by reports and benchmarks."""
+        return [rule.as_dict() for rule in self.sorted_by_confidence()]

@@ -1,0 +1,30 @@
+"""Sequential pattern mining baselines (related work reimplementations).
+
+* :class:`PrefixSpan` — frequent sequential patterns (Pei et al., ref [24]);
+* :class:`ClosedSequentialPatternMiner` — closed sequential patterns
+  (CloSpan / BIDE, refs [32], [30]);
+* :class:`TwoEventRuleMiner` — the Perracotta-style two-event rule baseline
+  the paper generalises (ref [33]).
+"""
+
+from .closed import ClosedSequentialPatternMiner, closed_filter, mine_closed_sequential_patterns
+from .prefixspan import (
+    PrefixSpan,
+    SequentialMiningResult,
+    SequentialPattern,
+    mine_sequential_patterns,
+)
+from .rules import TwoEventRuleMiner, TwoEventRuleResult, mine_two_event_rules
+
+__all__ = [
+    "ClosedSequentialPatternMiner",
+    "closed_filter",
+    "mine_closed_sequential_patterns",
+    "PrefixSpan",
+    "SequentialMiningResult",
+    "SequentialPattern",
+    "mine_sequential_patterns",
+    "TwoEventRuleMiner",
+    "TwoEventRuleResult",
+    "mine_two_event_rules",
+]

@@ -1,0 +1,144 @@
+"""PrefixSpan: classic sequential pattern mining (Pei et al., ICDE 2001).
+
+The paper positions iterative pattern mining as an extension of sequential
+pattern mining, so the library ships the classic algorithm both as a baseline
+for comparisons and as a building block (the recurrent-rule premise miner is
+a PrefixSpan variant).  A pattern here is *supported by a sequence* when it
+is a subsequence of it; support is the number of supporting sequences —
+repetitions within a sequence are deliberately not counted, which is exactly
+the difference the paper's Section 1 motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence as TypingSequence, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.events import EventLabel
+from ..core.pattern import format_pattern, is_subsequence
+from ..core.sequence import SequenceDatabase
+from ..core.stats import MiningStats
+
+
+@dataclass(frozen=True)
+class SequentialPattern:
+    """A frequent sequential pattern with its sequence support."""
+
+    events: Tuple[EventLabel, ...]
+    support: int
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __str__(self) -> str:
+        return f"{format_pattern(self.events)} (seq-sup={self.support})"
+
+    def is_subpattern_of(self, other: "SequentialPattern") -> bool:
+        """Whether this pattern is a subsequence of ``other``."""
+        return is_subsequence(self.events, other.events)
+
+
+@dataclass
+class SequentialMiningResult:
+    """Frequent sequential patterns plus the run's statistics."""
+
+    patterns: List[SequentialPattern] = field(default_factory=list)
+    stats: MiningStats = field(default_factory=MiningStats)
+    min_support: int = 0
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __iter__(self):
+        return iter(self.patterns)
+
+    def support_of(self, events: TypingSequence[EventLabel]) -> Optional[int]:
+        """Support of the exact pattern, or ``None`` if it was not mined."""
+        target = tuple(events)
+        for pattern in self.patterns:
+            if pattern.events == target:
+                return pattern.support
+        return None
+
+
+class PrefixSpan:
+    """Depth-first sequential pattern mining over earliest-position projections."""
+
+    def __init__(self, min_support: float = 2.0, max_length: Optional[int] = None) -> None:
+        if min_support <= 0:
+            raise ConfigurationError(f"min_support must be positive, got {min_support!r}")
+        if max_length is not None and max_length < 1:
+            raise ConfigurationError(f"max_length must be at least 1, got {max_length!r}")
+        self.min_support = min_support
+        self.max_length = max_length
+
+    def mine(self, database: SequenceDatabase) -> SequentialMiningResult:
+        """Mine all frequent sequential patterns of the database."""
+        stats = MiningStats()
+        stats.start()
+        result = SequentialMiningResult(stats=stats)
+        result.min_support = database.absolute_support(self.min_support)
+
+        encoded = database.encoded
+        initial: Dict[int, List[Tuple[int, int]]] = {}
+        for sequence_index, sequence in enumerate(encoded):
+            first_seen: Dict[int, int] = {}
+            for position, event in enumerate(sequence):
+                if event not in first_seen:
+                    first_seen[event] = position
+            for event, position in first_seen.items():
+                initial.setdefault(event, []).append((sequence_index, position))
+
+        for event in sorted(initial):
+            projections = initial[event]
+            if len(projections) < result.min_support:
+                stats.pruned_support += 1
+                continue
+            self._grow(database, encoded, (event,), projections, result)
+
+        stats.stop()
+        return result
+
+    def _grow(
+        self,
+        database: SequenceDatabase,
+        encoded: List[Tuple[int, ...]],
+        pattern: Tuple[int, ...],
+        projections: List[Tuple[int, int]],
+        result: SequentialMiningResult,
+    ) -> None:
+        stats = result.stats
+        stats.visited += 1
+        stats.emitted += 1
+        result.patterns.append(
+            SequentialPattern(database.vocabulary.decode(pattern), len(projections))
+        )
+
+        if self.max_length is not None and len(pattern) >= self.max_length:
+            return
+
+        extensions: Dict[int, List[Tuple[int, int]]] = {}
+        for sequence_index, position in projections:
+            sequence = encoded[sequence_index]
+            first_seen: Dict[int, int] = {}
+            for next_position in range(position + 1, len(sequence)):
+                event = sequence[next_position]
+                if event not in first_seen:
+                    first_seen[event] = next_position
+            for event, next_position in first_seen.items():
+                extensions.setdefault(event, []).append((sequence_index, next_position))
+
+        for event in sorted(extensions):
+            extended = extensions[event]
+            if len(extended) < result.min_support:
+                stats.pruned_support += 1
+                continue
+            self._grow(database, encoded, pattern + (event,), extended, result)
+
+
+def mine_sequential_patterns(
+    database: SequenceDatabase, min_support: float = 2.0, max_length: Optional[int] = None
+) -> SequentialMiningResult:
+    """Convenience wrapper around :class:`PrefixSpan`."""
+    return PrefixSpan(min_support=min_support, max_length=max_length).mine(database)

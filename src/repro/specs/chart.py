@@ -1,0 +1,77 @@
+"""MSC-style charts built from mined iterative patterns (Section 3.2).
+
+Iterative patterns are inspired by Message Sequence Charts / Live Sequence
+Charts but abstract away caller/callee information.  When events follow the
+``Class.method`` convention the class part can be recovered, which is enough
+to rebuild a simple chart: one *lifeline* per class, one *message* per
+pattern event, in pattern order.  The chart is what the specification
+repository stores and what the ASCII renderer draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence as TypingSequence, Tuple
+
+from ..core.errors import DataFormatError
+from ..core.events import EventLabel
+from ..traces.event_model import MethodCallEvent
+
+
+@dataclass(frozen=True)
+class ChartMessage:
+    """One message of a chart: a method invocation on a lifeline."""
+
+    lifeline: str
+    method: str
+    position: int
+
+    @property
+    def label(self) -> str:
+        """The flat event label of this message."""
+        return f"{self.lifeline}.{self.method}"
+
+
+@dataclass
+class SequenceChart:
+    """A minimal MSC-like chart: ordered messages over class lifelines."""
+
+    name: str
+    lifelines: List[str] = field(default_factory=list)
+    messages: List[ChartMessage] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def events(self) -> Tuple[EventLabel, ...]:
+        """The chart's messages as the flat event labels of the source pattern."""
+        return tuple(message.label for message in self.messages)
+
+    def messages_on(self, lifeline: str) -> List[ChartMessage]:
+        """All messages targeting one lifeline, in order."""
+        return [message for message in self.messages if message.lifeline == lifeline]
+
+
+def chart_from_pattern(
+    pattern: TypingSequence[EventLabel],
+    name: str = "mined-pattern",
+    default_lifeline: str = "System",
+) -> SequenceChart:
+    """Build a chart from a pattern of (preferably ``Class.method``) events.
+
+    Events that do not follow the ``Class.method`` convention are attached to
+    ``default_lifeline`` so arbitrary mined patterns can still be charted.
+    """
+    if not pattern:
+        raise DataFormatError("cannot build a chart from an empty pattern")
+    chart = SequenceChart(name=name)
+    for position, event in enumerate(pattern):
+        try:
+            call = MethodCallEvent.parse(str(event))
+            lifeline, method = call.class_name, call.method_name
+        except DataFormatError:
+            lifeline, method = default_lifeline, str(event)
+        if lifeline not in chart.lifelines:
+            chart.lifelines.append(lifeline)
+        chart.messages.append(ChartMessage(lifeline=lifeline, method=method, position=position))
+    return chart

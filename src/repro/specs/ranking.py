@@ -1,0 +1,46 @@
+"""Ranking mined patterns and rules (Section 8, future work).
+
+The paper lists "develop a method to rank mined patterns and rules" as
+future work.  The rankers here implement the natural baseline scores used by
+follow-up specification-mining literature: support-weighted length for
+patterns (long, frequent behaviours first) and a confidence/support/length
+combination for rules.  Scores are deliberately simple, deterministic and
+documented so downstream users can substitute their own.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from ..patterns.result import MinedPattern, PatternMiningResult
+from ..rules.result import RuleMiningResult
+from ..rules.rule import RecurrentRule
+
+
+def pattern_score(pattern: MinedPattern) -> float:
+    """Score a pattern: longer and more frequent is better (log-damped support)."""
+    return len(pattern.events) * math.log1p(pattern.support)
+
+
+def rank_patterns(result: PatternMiningResult, top: int = None) -> List[Tuple[float, MinedPattern]]:
+    """Patterns sorted by :func:`pattern_score` (descending)."""
+    scored = sorted(
+        ((pattern_score(pattern), pattern) for pattern in result.patterns),
+        key=lambda item: (-item[0], tuple(map(str, item[1].events))),
+    )
+    return scored[:top] if top is not None else scored
+
+
+def rule_score(rule: RecurrentRule) -> float:
+    """Score a rule: confidence first, then support and total length (log-damped)."""
+    return rule.confidence * math.log1p(rule.i_support) * math.log1p(len(rule))
+
+
+def rank_rules(result: RuleMiningResult, top: int = None) -> List[Tuple[float, RecurrentRule]]:
+    """Rules sorted by :func:`rule_score` (descending)."""
+    scored = sorted(
+        ((rule_score(rule), rule) for rule in result.rules),
+        key=lambda item: (-item[0], tuple(map(str, item[1].events))),
+    )
+    return scored[:top] if top is not None else scored

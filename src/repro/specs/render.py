@@ -1,0 +1,71 @@
+"""ASCII rendering of charts and rules.
+
+The paper's future work mentions a visualization tool for navigating mined
+specifications; this module provides the text-mode version: charts are drawn
+with one column per lifeline and one row per message (the style of Figure 4,
+read top to bottom), rules are rendered premise-above-consequent (the style
+of Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence as TypingSequence
+
+from ..core.events import EventLabel
+from ..rules.rule import RecurrentRule
+from .chart import SequenceChart
+
+
+def render_chart(chart: SequenceChart, column_width: int = None) -> str:
+    """Render a chart as an ASCII table: lifelines as columns, messages as rows."""
+    if not chart.messages:
+        return f"{chart.name}: (empty chart)"
+    width = column_width or max(
+        [len(lifeline) for lifeline in chart.lifelines]
+        + [len(message.method) + 2 for message in chart.messages]
+    )
+    width = max(width, 8)
+
+    def cell(text: str) -> str:
+        return text[:width].center(width)
+
+    lines: List[str] = [chart.name, ""]
+    lines.append(" | ".join(cell(lifeline) for lifeline in chart.lifelines))
+    lines.append("-+-".join("-" * width for _ in chart.lifelines))
+    for message in chart.messages:
+        row = []
+        for lifeline in chart.lifelines:
+            row.append(cell(f"[{message.method}]" if lifeline == message.lifeline else "|"))
+        lines.append(" | ".join(row))
+    return "\n".join(lines)
+
+
+def render_pattern_blocks(
+    pattern: TypingSequence[EventLabel], block_titles: TypingSequence[str] = (), block_size: int = 8
+) -> str:
+    """Render a long pattern as titled blocks, Figure 4 style."""
+    lines: List[str] = []
+    block_index = 0
+    for start in range(0, len(pattern), block_size):
+        title = (
+            block_titles[block_index]
+            if block_index < len(block_titles)
+            else f"Block {block_index + 1}"
+        )
+        lines.append(title)
+        for event in pattern[start : start + block_size]:
+            lines.append(f"  {event}")
+        block_index += 1
+    return "\n".join(lines)
+
+
+def render_rule(rule: RecurrentRule) -> str:
+    """Render a rule premise-above-consequent, Figure 5 style."""
+    lines: List[str] = ["Premise:"]
+    lines.extend(f"  {event}" for event in rule.premise)
+    lines.append("Consequent:")
+    lines.extend(f"  {event}" for event in rule.consequent)
+    lines.append(
+        f"(s-sup={rule.s_support}, i-sup={rule.i_support}, conf={rule.confidence:.2f})"
+    )
+    return "\n".join(lines)

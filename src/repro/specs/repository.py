@@ -1,0 +1,128 @@
+"""A small repository for mined specifications.
+
+Mining runs produce patterns and rules; downstream uses (program
+comprehension, runtime verification, documentation) want to store, query and
+serialise them together.  :class:`SpecificationRepository` holds both kinds,
+supports querying by event, converts rules to their LTL form and round-trips
+through JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence as TypingSequence, Union
+
+from ..core.errors import DataFormatError
+from ..core.events import EventLabel
+from ..patterns.result import MinedPattern, PatternMiningResult
+from ..rules.result import RuleMiningResult
+from ..rules.rule import RecurrentRule
+
+PathLike = Union[str, Path]
+
+
+class SpecificationRepository:
+    """Stores mined iterative patterns and recurrent rules."""
+
+    def __init__(self, name: str = "specifications") -> None:
+        self.name = name
+        self._patterns: List[MinedPattern] = []
+        self._rules: List[RecurrentRule] = []
+
+    # ------------------------------------------------------------------ #
+    # Insertion
+    # ------------------------------------------------------------------ #
+    def add_pattern(self, pattern: MinedPattern) -> None:
+        """Store a single mined pattern."""
+        self._patterns.append(pattern)
+
+    def add_rule(self, rule: RecurrentRule) -> None:
+        """Store a single mined rule."""
+        self._rules.append(rule)
+
+    def add_pattern_result(self, result: PatternMiningResult) -> int:
+        """Store every pattern of a mining result; returns the number stored."""
+        for pattern in result.patterns:
+            self.add_pattern(pattern)
+        return len(result.patterns)
+
+    def add_rule_result(self, result: RuleMiningResult) -> int:
+        """Store every rule of a mining result; returns the number stored."""
+        for rule in result.rules:
+            self.add_rule(rule)
+        return len(result.rules)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def patterns(self) -> List[MinedPattern]:
+        """All stored patterns."""
+        return list(self._patterns)
+
+    @property
+    def rules(self) -> List[RecurrentRule]:
+        """All stored rules."""
+        return list(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._patterns) + len(self._rules)
+
+    def patterns_mentioning(self, event: EventLabel) -> List[MinedPattern]:
+        """Patterns whose alphabet contains ``event``."""
+        return [pattern for pattern in self._patterns if event in pattern.events]
+
+    def rules_mentioning(self, event: EventLabel) -> List[RecurrentRule]:
+        """Rules whose premise or consequent contains ``event``."""
+        return [rule for rule in self._rules if event in rule.premise or event in rule.consequent]
+
+    def rules_as_ltl(self) -> List[str]:
+        """Every stored rule rendered as an LTL formula string."""
+        return [rule.to_ltl() for rule in self._rules]
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation of the whole repository."""
+        return {
+            "name": self.name,
+            "patterns": [pattern.as_dict() for pattern in self._patterns],
+            "rules": [rule.as_dict() for rule in self._rules],
+        }
+
+    def save(self, path: PathLike) -> None:
+        """Write the repository to a JSON file."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2), encoding="utf-8")
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SpecificationRepository":
+        """Rebuild a repository from :meth:`to_dict` output."""
+        if not isinstance(payload, dict) or "patterns" not in payload or "rules" not in payload:
+            raise DataFormatError("not a specification repository payload")
+        repository = cls(name=str(payload.get("name", "specifications")))
+        for entry in payload["patterns"]:
+            repository.add_pattern(
+                MinedPattern(events=tuple(entry["events"]), support=int(entry["support"]))
+            )
+        for entry in payload["rules"]:
+            repository.add_rule(
+                RecurrentRule(
+                    premise=tuple(entry["premise"]),
+                    consequent=tuple(entry["consequent"]),
+                    s_support=int(entry["s_support"]),
+                    i_support=int(entry["i_support"]),
+                    confidence=float(entry["confidence"]),
+                )
+            )
+        return repository
+
+    @classmethod
+    def load(cls, path: PathLike) -> "SpecificationRepository":
+        """Read a repository previously written by :meth:`save`."""
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise DataFormatError(f"invalid repository file {path}: {error}") from error
+        return cls.from_dict(payload)

@@ -1,0 +1,39 @@
+"""Program-trace framework: events, traces, instrumentation, IO, test driving."""
+
+from .event_model import MethodCallEvent, event_label, split_label
+from .instrument import InstrumentedProxy, instrument
+from .io import (
+    read_csv,
+    read_jsonl,
+    read_text,
+    read_traces,
+    write_csv,
+    write_jsonl,
+    write_text,
+    write_traces,
+)
+from .testsuite import TestCase, TestSuiteRunner, run_test_suite
+from .trace import Trace, TraceCollector, database_to_traces, traces_to_database
+
+__all__ = [
+    "MethodCallEvent",
+    "event_label",
+    "split_label",
+    "InstrumentedProxy",
+    "instrument",
+    "read_csv",
+    "read_jsonl",
+    "read_text",
+    "read_traces",
+    "write_csv",
+    "write_jsonl",
+    "write_text",
+    "write_traces",
+    "TestCase",
+    "TestSuiteRunner",
+    "run_test_suite",
+    "Trace",
+    "TraceCollector",
+    "database_to_traces",
+    "traces_to_database",
+]

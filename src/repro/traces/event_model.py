@@ -1,0 +1,57 @@
+"""Method-call event model for program traces.
+
+The paper's traces are sequences of method invocations such as
+``TxManager.begin`` or ``SecAssoc.getPrincipal()``.  The miners only care
+about opaque event labels, but the trace framework, the MSC-style chart
+builder and the JBoss simulations benefit from knowing the ``class`` /
+``method`` split, which this small value type provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import DataFormatError
+
+
+@dataclass(frozen=True)
+class MethodCallEvent:
+    """A single method invocation event: ``class_name.method_name``."""
+
+    class_name: str
+    method_name: str
+
+    @property
+    def label(self) -> str:
+        """The flat label used by the miners, e.g. ``"TxManager.begin"``."""
+        return f"{self.class_name}.{self.method_name}"
+
+    def __str__(self) -> str:
+        return self.label
+
+    @classmethod
+    def parse(cls, label: str) -> "MethodCallEvent":
+        """Parse a label of the form ``Class.method`` (trailing ``()`` is tolerated)."""
+        text = label.strip()
+        if text.endswith("()"):
+            text = text[:-2]
+        if "." not in text:
+            raise DataFormatError(
+                f"cannot parse method-call event {label!r}: expected 'Class.method'"
+            )
+        class_name, _, method_name = text.rpartition(".")
+        if not class_name or not method_name:
+            raise DataFormatError(
+                f"cannot parse method-call event {label!r}: empty class or method name"
+            )
+        return cls(class_name=class_name, method_name=method_name)
+
+
+def event_label(class_name: str, method_name: str) -> str:
+    """Build the flat ``Class.method`` label used throughout the library."""
+    return MethodCallEvent(class_name, method_name).label
+
+
+def split_label(label: str) -> MethodCallEvent:
+    """Alias of :meth:`MethodCallEvent.parse` reading slightly better at call sites."""
+    return MethodCallEvent.parse(label)

@@ -1,0 +1,123 @@
+"""Run-time instrumentation of Python objects.
+
+The paper instruments JBoss with JBoss-AOP so that every method invocation on
+the components of interest is logged.  The Python equivalent provided here is
+a light-weight dynamic proxy: :func:`instrument` wraps any object so that
+every public method call is recorded into a :class:`~repro.traces.trace.TraceCollector`
+before being delegated to the real object.  Return values are wrapped too
+when requested, so call chains across collaborating objects (the normal case
+in the JBoss simulations) end up in a single trace.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Set
+
+from .trace import TraceCollector
+
+
+class InstrumentedProxy:
+    """A dynamic proxy recording public method calls on the wrapped object."""
+
+    _PROXY_ATTRIBUTES = {
+        "_target",
+        "_collector",
+        "_class_name",
+        "_wrap_results",
+        "_excluded",
+    }
+
+    def __init__(
+        self,
+        target: Any,
+        collector: TraceCollector,
+        class_name: Optional[str] = None,
+        wrap_results: bool = False,
+        excluded_methods: Optional[Iterable[str]] = None,
+    ) -> None:
+        object.__setattr__(self, "_target", target)
+        object.__setattr__(self, "_collector", collector)
+        object.__setattr__(self, "_class_name", class_name or type(target).__name__)
+        object.__setattr__(self, "_wrap_results", wrap_results)
+        object.__setattr__(self, "_excluded", set(excluded_methods or ()))
+
+    # ------------------------------------------------------------------ #
+    # Attribute interception
+    # ------------------------------------------------------------------ #
+    def __getattr__(self, name: str) -> Any:
+        target = object.__getattribute__(self, "_target")
+        attribute = getattr(target, name)
+        if name.startswith("_") or name in object.__getattribute__(self, "_excluded"):
+            return attribute
+        if not callable(attribute):
+            return attribute
+        return self._wrap_method(name, attribute)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name in self._PROXY_ATTRIBUTES:
+            object.__setattr__(self, name, value)
+        else:
+            setattr(object.__getattribute__(self, "_target"), name, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"InstrumentedProxy({object.__getattribute__(self, '_target')!r})"
+
+    # ------------------------------------------------------------------ #
+    # Method wrapping
+    # ------------------------------------------------------------------ #
+    def _wrap_method(self, name: str, method: Callable[..., Any]) -> Callable[..., Any]:
+        collector: TraceCollector = object.__getattribute__(self, "_collector")
+        class_name: str = object.__getattribute__(self, "_class_name")
+        wrap_results: bool = object.__getattribute__(self, "_wrap_results")
+
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            collector.record_call(class_name, name)
+            result = method(*args, **kwargs)
+            if wrap_results and _is_instrumentable(result):
+                return InstrumentedProxy(result, collector, wrap_results=True)
+            return result
+
+        wrapper.__name__ = name
+        return wrapper
+
+
+def _is_instrumentable(value: Any) -> bool:
+    """Whether a returned value is worth wrapping in a proxy of its own."""
+    if value is None:
+        return False
+    if isinstance(value, (bool, int, float, str, bytes, tuple, list, dict, set, frozenset)):
+        return False
+    return hasattr(value, "__class__") and not isinstance(value, type)
+
+
+def instrument(
+    target: Any,
+    collector: TraceCollector,
+    class_name: Optional[str] = None,
+    wrap_results: bool = False,
+    excluded_methods: Optional[Set[str]] = None,
+) -> InstrumentedProxy:
+    """Wrap ``target`` so its public method calls are recorded into ``collector``.
+
+    Parameters
+    ----------
+    target:
+        The object to instrument.
+    collector:
+        The trace collector receiving ``Class.method`` events.
+    class_name:
+        Override for the class-name part of the recorded labels (defaults to
+        ``type(target).__name__``).
+    wrap_results:
+        When ``True``, objects returned by instrumented methods are wrapped
+        into proxies as well, so whole call chains are traced.
+    excluded_methods:
+        Method names that should be delegated without being recorded.
+    """
+    return InstrumentedProxy(
+        target,
+        collector,
+        class_name=class_name,
+        wrap_results=wrap_results,
+        excluded_methods=excluded_methods,
+    )

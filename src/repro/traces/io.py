@@ -1,0 +1,154 @@
+"""Reading and writing trace databases.
+
+Three interchange formats are supported, all line-oriented and dependency
+free:
+
+* **text** — one event label per line, blank line between traces, optional
+  ``# name`` comment naming the following trace (the format produced by most
+  ad-hoc instrumentation scripts);
+* **jsonl** — one JSON object per line: ``{"name": ..., "events": [...]}``;
+* **csv** — ``trace_id,position,event`` rows with a header.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..core.errors import DataFormatError
+from ..core.sequence import SequenceDatabase
+
+PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------- #
+# Plain text
+# ---------------------------------------------------------------------- #
+def write_text(database: SequenceDatabase, path: PathLike) -> None:
+    """Write a database in the plain-text format."""
+    lines: List[str] = []
+    for index in range(len(database)):
+        name = database.name(index)
+        if name:
+            lines.append(f"# {name}")
+        lines.extend(str(event) for event in database[index])
+        lines.append("")
+    Path(path).write_text("\n".join(lines), encoding="utf-8")
+
+
+def read_text(path: PathLike) -> SequenceDatabase:
+    """Read a database from the plain-text format."""
+    database = SequenceDatabase()
+    current: List[str] = []
+    current_name: Optional[str] = None
+    for raw_line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = raw_line.strip()
+        if not line:
+            if current:
+                database.add(current, name=current_name)
+            current, current_name = [], None
+            continue
+        if line.startswith("#"):
+            current_name = line.lstrip("#").strip() or None
+            continue
+        current.append(line)
+    if current:
+        database.add(current, name=current_name)
+    return database
+
+
+# ---------------------------------------------------------------------- #
+# JSON lines
+# ---------------------------------------------------------------------- #
+def write_jsonl(database: SequenceDatabase, path: PathLike) -> None:
+    """Write a database with one JSON object per trace."""
+    with Path(path).open("w", encoding="utf-8") as handle:
+        for index in range(len(database)):
+            record = {"name": database.name(index), "events": list(map(str, database[index]))}
+            handle.write(json.dumps(record) + "\n")
+
+
+def read_jsonl(path: PathLike) -> SequenceDatabase:
+    """Read a database written by :func:`write_jsonl`."""
+    database = SequenceDatabase()
+    for line_number, line in enumerate(Path(path).read_text(encoding="utf-8").splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise DataFormatError(f"invalid JSON on line {line_number}: {error}") from error
+        if not isinstance(record, dict) or "events" not in record:
+            raise DataFormatError(f"line {line_number} is not a trace record: {line!r}")
+        database.add(list(record["events"]), name=record.get("name"))
+    return database
+
+
+# ---------------------------------------------------------------------- #
+# CSV
+# ---------------------------------------------------------------------- #
+def write_csv(database: SequenceDatabase, path: PathLike) -> None:
+    """Write a database as ``trace_id,position,event`` rows."""
+    with Path(path).open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["trace_id", "position", "event"])
+        for index in range(len(database)):
+            for position, event in enumerate(database[index]):
+                writer.writerow([index, position, str(event)])
+
+
+def read_csv(path: PathLike) -> SequenceDatabase:
+    """Read a database written by :func:`write_csv`."""
+    rows_by_trace: Dict[int, List[tuple]] = {}
+    with Path(path).open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"trace_id", "position", "event"}
+        if reader.fieldnames is None or not required.issubset(set(reader.fieldnames)):
+            raise DataFormatError(
+                f"CSV trace file must have columns {sorted(required)}, got {reader.fieldnames}"
+            )
+        for row in reader:
+            try:
+                trace_id = int(row["trace_id"])
+                position = int(row["position"])
+            except (TypeError, ValueError) as error:
+                raise DataFormatError(f"invalid CSV trace row: {row!r}") from error
+            rows_by_trace.setdefault(trace_id, []).append((position, row["event"]))
+    database = SequenceDatabase()
+    for trace_id in sorted(rows_by_trace):
+        events = [event for _, event in sorted(rows_by_trace[trace_id])]
+        database.add(events, name=f"trace-{trace_id}")
+    return database
+
+
+# ---------------------------------------------------------------------- #
+# Format dispatch
+# ---------------------------------------------------------------------- #
+_WRITERS = {"text": write_text, "jsonl": write_jsonl, "csv": write_csv}
+_READERS = {"text": read_text, "jsonl": read_jsonl, "csv": read_csv}
+_SUFFIX_TO_FORMAT = {".txt": "text", ".trace": "text", ".jsonl": "jsonl", ".csv": "csv"}
+
+
+def _format_for(path: PathLike, explicit: Optional[str]) -> str:
+    if explicit is not None:
+        if explicit not in _WRITERS:
+            raise DataFormatError(f"unknown trace format {explicit!r}")
+        return explicit
+    suffix = Path(path).suffix.lower()
+    if suffix in _SUFFIX_TO_FORMAT:
+        return _SUFFIX_TO_FORMAT[suffix]
+    raise DataFormatError(
+        f"cannot infer trace format from suffix {suffix!r}; pass format= explicitly"
+    )
+
+
+def write_traces(database: SequenceDatabase, path: PathLike, format: Optional[str] = None) -> None:
+    """Write ``database`` to ``path`` in the given (or inferred) format."""
+    _WRITERS[_format_for(path, format)](database, path)
+
+
+def read_traces(path: PathLike, format: Optional[str] = None) -> SequenceDatabase:
+    """Read a trace database from ``path`` in the given (or inferred) format."""
+    return _READERS[_format_for(path, format)](path)

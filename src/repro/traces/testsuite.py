@@ -1,0 +1,71 @@
+"""Driving instrumented code with a test suite to obtain traces.
+
+The paper generates traces "by running the test suite that comes with the
+JBoss-AS distribution" over instrumented components.  The tiny framework
+here mirrors that workflow for the simulated components: a
+:class:`TestSuiteRunner` executes named test callables, gives each one a
+fresh trace in a shared :class:`~repro.traces.trace.TraceCollector`, and
+returns the resulting sequence database.  Each test is run a configurable
+number of times (optionally with a per-iteration seed) so that looping
+behaviour — the source of *iterative* patterns — shows up in the traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..core.errors import ConfigurationError
+from ..core.sequence import SequenceDatabase
+from .trace import TraceCollector
+
+TestCallable = Callable[[TraceCollector, int], None]
+
+
+@dataclass
+class TestCase:
+    """A named test: a callable receiving the collector and an iteration index."""
+
+    name: str
+    run: TestCallable
+    repetitions: int = 1
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ConfigurationError(
+                f"repetitions must be >= 1, got {self.repetitions!r} for test {self.name!r}"
+            )
+
+
+@dataclass
+class TestSuiteRunner:
+    """Run a list of test cases, one trace per (test, repetition)."""
+
+    tests: List[TestCase] = field(default_factory=list)
+    collector: TraceCollector = field(default_factory=TraceCollector)
+
+    def add(self, name: str, run: TestCallable, repetitions: int = 1) -> "TestSuiteRunner":
+        """Register a test case; returns ``self`` for chaining."""
+        self.tests.append(TestCase(name=name, run=run, repetitions=repetitions))
+        return self
+
+    def run(self) -> SequenceDatabase:
+        """Execute every registered test and return the collected traces."""
+        if not self.tests:
+            raise ConfigurationError("the test suite is empty")
+        for test in self.tests:
+            for iteration in range(test.repetitions):
+                trace_name = (
+                    test.name if test.repetitions == 1 else f"{test.name}#{iteration}"
+                )
+                with self.collector.trace(trace_name):
+                    test.run(self.collector, iteration)
+        return self.collector.to_database()
+
+
+def run_test_suite(tests: List[TestCase]) -> SequenceDatabase:
+    """Run an ad-hoc list of test cases and return the collected traces."""
+    runner = TestSuiteRunner()
+    for test in tests:
+        runner.tests.append(test)
+    return runner.run()

@@ -1,0 +1,147 @@
+"""Traces and trace collection.
+
+A :class:`Trace` is a named sequence of event labels — one program run.  A
+:class:`TraceCollector` accumulates events while instrumented code executes
+(see :mod:`repro.traces.instrument`) and turns the collected runs into the
+:class:`~repro.core.sequence.SequenceDatabase` the miners consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence as TypingSequence, Tuple
+
+from ..core.errors import DataFormatError
+from ..core.events import EventLabel
+from ..core.sequence import SequenceDatabase
+from .event_model import event_label
+
+
+@dataclass
+class Trace:
+    """One program execution trace: a named ordered list of event labels."""
+
+    events: List[EventLabel] = field(default_factory=list)
+    name: Optional[str] = None
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[EventLabel]:
+        return iter(self.events)
+
+    def __getitem__(self, index: int) -> EventLabel:
+        return self.events[index]
+
+    def append(self, event: EventLabel) -> None:
+        """Append one event to the trace."""
+        self.events.append(event)
+
+    def record_call(self, class_name: str, method_name: str) -> None:
+        """Append a ``Class.method`` event."""
+        self.events.append(event_label(class_name, method_name))
+
+    def as_tuple(self) -> Tuple[EventLabel, ...]:
+        """The trace's events as an immutable tuple."""
+        return tuple(self.events)
+
+
+def traces_to_database(traces: Iterable[Trace]) -> SequenceDatabase:
+    """Build a sequence database from an iterable of traces."""
+    database = SequenceDatabase()
+    for trace in traces:
+        database.add(trace.events, name=trace.name)
+    return database
+
+
+def database_to_traces(database: SequenceDatabase) -> List[Trace]:
+    """Materialise every sequence of a database as a :class:`Trace`."""
+    return [
+        Trace(events=list(database[index]), name=database.name(index))
+        for index in range(len(database))
+    ]
+
+
+class TraceCollector:
+    """Accumulates traces produced by instrumented code.
+
+    Typical use::
+
+        collector = TraceCollector()
+        with collector.trace("tx-commit-test"):
+            instrumented_component.run()
+        database = collector.to_database()
+    """
+
+    def __init__(self) -> None:
+        self._traces: List[Trace] = []
+        self._active: Optional[Trace] = None
+
+    # ------------------------------------------------------------------ #
+    # Trace lifecycle
+    # ------------------------------------------------------------------ #
+    def start_trace(self, name: Optional[str] = None) -> Trace:
+        """Begin collecting a new trace; subsequent events go to it."""
+        if self._active is not None:
+            raise DataFormatError("a trace is already being collected; end it first")
+        self._active = Trace(name=name)
+        return self._active
+
+    def end_trace(self) -> Trace:
+        """Finish the active trace and store it."""
+        if self._active is None:
+            raise DataFormatError("no active trace to end")
+        finished = self._active
+        self._traces.append(finished)
+        self._active = None
+        return finished
+
+    def trace(self, name: Optional[str] = None) -> "_TraceContext":
+        """Context manager sugar around :meth:`start_trace` / :meth:`end_trace`."""
+        return _TraceContext(self, name)
+
+    # ------------------------------------------------------------------ #
+    # Event recording
+    # ------------------------------------------------------------------ #
+    def record(self, event: EventLabel) -> None:
+        """Record one event into the active trace."""
+        if self._active is None:
+            raise DataFormatError("cannot record an event: no active trace")
+        self._active.append(event)
+
+    def record_call(self, class_name: str, method_name: str) -> None:
+        """Record a ``Class.method`` invocation into the active trace."""
+        self.record(event_label(class_name, method_name))
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+    @property
+    def traces(self) -> List[Trace]:
+        """All completed traces, in collection order."""
+        return list(self._traces)
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def to_database(self) -> SequenceDatabase:
+        """All completed traces as a sequence database."""
+        return traces_to_database(self._traces)
+
+    def clear(self) -> None:
+        """Drop all collected traces (the active trace, if any, is kept)."""
+        self._traces.clear()
+
+
+class _TraceContext:
+    """Context manager returned by :meth:`TraceCollector.trace`."""
+
+    def __init__(self, collector: TraceCollector, name: Optional[str]) -> None:
+        self._collector = collector
+        self._name = name
+
+    def __enter__(self) -> Trace:
+        return self._collector.start_trace(self._name)
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._collector.end_trace()

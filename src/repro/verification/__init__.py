@@ -1,0 +1,15 @@
+"""Runtime monitoring and coverage analysis of mined specifications."""
+
+from .coverage import CoverageReport, coverage_of, specification_events
+from .monitor import RuleMonitor, monitor_database
+from .violations import MonitoringReport, RuleViolation
+
+__all__ = [
+    "CoverageReport",
+    "coverage_of",
+    "specification_events",
+    "RuleMonitor",
+    "monitor_database",
+    "MonitoringReport",
+    "RuleViolation",
+]

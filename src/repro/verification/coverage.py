@@ -1,0 +1,93 @@
+"""Specification coverage statistics.
+
+When mined specifications are used for comprehension it is useful to know how
+much of the observed behaviour they describe: which events are covered by at
+least one pattern or rule, and how much of each trace falls inside pattern
+instances.  These are the numbers the `coverage` CLI sub-command and the
+examples report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..core.events import EventLabel
+from ..core.instances import find_instances_in_sequence
+from ..core.sequence import SequenceDatabase
+from ..patterns.result import MinedPattern
+from ..rules.rule import RecurrentRule
+
+
+@dataclass
+class CoverageReport:
+    """Event-level and position-level coverage of a database by specifications."""
+
+    total_events: int = 0
+    covered_positions: int = 0
+    observed_event_labels: Set[EventLabel] = field(default_factory=set)
+    covered_event_labels: Set[EventLabel] = field(default_factory=set)
+    per_trace_coverage: List[float] = field(default_factory=list)
+
+    @property
+    def position_coverage(self) -> float:
+        """Fraction of all trace positions lying inside some pattern instance."""
+        if self.total_events == 0:
+            return 0.0
+        return self.covered_positions / self.total_events
+
+    @property
+    def vocabulary_coverage(self) -> float:
+        """Fraction of distinct observed events mentioned by some specification."""
+        if not self.observed_event_labels:
+            return 0.0
+        return len(self.covered_event_labels & self.observed_event_labels) / len(
+            self.observed_event_labels
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """The headline numbers as a dictionary."""
+        return {
+            "total_events": float(self.total_events),
+            "position_coverage": self.position_coverage,
+            "vocabulary_coverage": self.vocabulary_coverage,
+        }
+
+
+def specification_events(
+    patterns: Iterable[MinedPattern], rules: Iterable[RecurrentRule]
+) -> Set[EventLabel]:
+    """All events mentioned by any of the given patterns or rules."""
+    events: Set[EventLabel] = set()
+    for pattern in patterns:
+        events.update(pattern.events)
+    for rule in rules:
+        events.update(rule.premise)
+        events.update(rule.consequent)
+    return events
+
+
+def coverage_of(
+    database: SequenceDatabase,
+    patterns: Iterable[MinedPattern] = (),
+    rules: Iterable[RecurrentRule] = (),
+) -> CoverageReport:
+    """Compute coverage of ``database`` by the given specifications."""
+    patterns = list(patterns)
+    rules = list(rules)
+    report = CoverageReport()
+    report.covered_event_labels = specification_events(patterns, rules)
+
+    for index in range(len(database)):
+        trace: Tuple[EventLabel, ...] = tuple(database[index])
+        report.total_events += len(trace)
+        report.observed_event_labels.update(trace)
+        covered = [False] * len(trace)
+        for pattern in patterns:
+            for start, end in find_instances_in_sequence(trace, pattern.events):
+                for position in range(start, end + 1):
+                    covered[position] = True
+        trace_covered = sum(1 for flag in covered if flag)
+        report.covered_positions += trace_covered
+        report.per_trace_coverage.append(trace_covered / len(trace) if trace else 0.0)
+    return report

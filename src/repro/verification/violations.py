@@ -1,0 +1,78 @@
+"""Violation records produced by runtime monitoring."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.events import EventLabel
+from ..rules.rule import RecurrentRule
+
+
+@dataclass(frozen=True)
+class RuleViolation:
+    """One unsatisfied temporal point of a monitored rule.
+
+    The rule's premise completed at ``position`` of trace ``trace_index``
+    (named ``trace_name`` when available) but the consequent never occurred
+    in the remainder of the trace.
+    """
+
+    rule: RecurrentRule
+    trace_index: int
+    position: int
+    trace_name: Optional[str] = None
+
+    def describe(self) -> str:
+        """A one-line human-readable description of the violation."""
+        where = self.trace_name if self.trace_name else f"trace {self.trace_index}"
+        return (
+            f"{where}@{self.position}: premise {self.rule.premise} completed "
+            f"but consequent {self.rule.consequent} never followed"
+        )
+
+
+@dataclass
+class MonitoringReport:
+    """Aggregated outcome of monitoring a set of rules over a trace database."""
+
+    total_points: int = 0
+    satisfied_points: int = 0
+    violations: List[RuleViolation] = field(default_factory=list)
+    per_rule_points: Dict[Tuple[Tuple[EventLabel, ...], Tuple[EventLabel, ...]], int] = field(
+        default_factory=dict
+    )
+
+    @property
+    def violation_count(self) -> int:
+        """Number of violating temporal points."""
+        return len(self.violations)
+
+    @property
+    def satisfaction_rate(self) -> float:
+        """Fraction of monitored temporal points that were satisfied (1.0 if none)."""
+        if self.total_points == 0:
+            return 1.0
+        return self.satisfied_points / self.total_points
+
+    def violations_of(self, rule: RecurrentRule) -> List[RuleViolation]:
+        """All recorded violations of one rule."""
+        return [violation for violation in self.violations if violation.rule == rule]
+
+    def violated_rules(self) -> List[RecurrentRule]:
+        """The distinct rules with at least one violation."""
+        seen = []
+        for violation in self.violations:
+            if violation.rule not in seen:
+                seen.append(violation.rule)
+        return seen
+
+    def summary(self) -> str:
+        """A short multi-line summary suitable for CLI output."""
+        lines = [
+            f"monitored temporal points : {self.total_points}",
+            f"satisfied                 : {self.satisfied_points}",
+            f"violations                : {self.violation_count}",
+            f"satisfaction rate         : {self.satisfaction_rate:.3f}",
+        ]
+        return "\n".join(lines)

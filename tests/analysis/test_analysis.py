@@ -1,0 +1,127 @@
+"""Tests for the experiment harness, comparisons and reporting."""
+
+import pytest
+
+from repro.analysis.compare import (
+    closed_result_is_consistent,
+    headline_ratios,
+    nonredundant_result_is_consistent,
+)
+from repro.analysis.experiment import (
+    SweepRow,
+    iterative_pattern_sweep,
+    rule_sweep_vs_confidence,
+    rule_sweep_vs_s_support,
+)
+from repro.analysis.reporting import format_series, format_sweep, format_table
+from repro.core.sequence import SequenceDatabase
+from repro.patterns.closed_miner import mine_closed_patterns
+from repro.patterns.full_miner import mine_frequent_patterns
+from repro.rules.config import RuleMiningConfig
+from repro.rules.full_miner import FullRecurrentRuleMiner
+from repro.rules.nonredundant_miner import NonRedundantRecurrentRuleMiner
+
+
+@pytest.fixture
+def protocol_db():
+    return SequenceDatabase.from_sequences(
+        [
+            ["open", "read", "write", "close", "open", "close"],
+            ["open", "read", "close"],
+            ["open", "write", "close", "idle"],
+            ["open", "read", "write", "close"],
+        ]
+    )
+
+
+def test_sweep_row_ratios():
+    row = SweepRow("min_sup", 0.1, baseline_runtime=2.0, baseline_count=100, proposed_runtime=0.5, proposed_count=4)
+    assert row.runtime_ratio == pytest.approx(4.0)
+    assert row.count_ratio == pytest.approx(25.0)
+    payload = row.as_dict()
+    assert payload["min_sup"] == 0.1
+    assert payload["baseline_count"] == 100.0
+
+
+def test_sweep_row_handles_zero_proposed_values():
+    row = SweepRow("min_sup", 0.1, 1.0, 10, 0.0, 0)
+    assert row.runtime_ratio == float("inf")
+    assert row.count_ratio == float("inf")
+
+
+def test_iterative_pattern_sweep_shapes(protocol_db):
+    rows = iterative_pattern_sweep(protocol_db, min_supports=[4, 3])
+    assert [row.threshold for row in rows] == [4, 3]
+    for row in rows:
+        assert row.proposed_count <= row.baseline_count
+        assert row.baseline_count > 0
+        assert row.baseline_runtime >= 0.0
+
+
+def test_rule_sweeps_shapes(protocol_db):
+    s_rows = rule_sweep_vs_s_support(
+        protocol_db, min_s_supports=[3, 2], min_confidence=0.6, max_consequent_length=3
+    )
+    assert [row.threshold for row in s_rows] == [3, 2]
+    c_rows = rule_sweep_vs_confidence(
+        protocol_db, min_confidences=[0.9, 0.6], min_s_support=2, max_consequent_length=3
+    )
+    assert [row.threshold for row in c_rows] == [0.9, 0.6]
+    for row in s_rows + c_rows:
+        assert row.proposed_count <= row.baseline_count
+    # Lowering a threshold can only produce at least as many results.
+    assert s_rows[1].baseline_count >= s_rows[0].baseline_count
+    assert c_rows[1].baseline_count >= c_rows[0].baseline_count
+
+
+def test_headline_ratios_picks_the_best_row():
+    rows = [
+        SweepRow("min_sup", 0.2, 1.0, 10, 1.0, 5),
+        SweepRow("min_sup", 0.1, 9.0, 900, 3.0, 9),
+    ]
+    ratios = headline_ratios(rows)
+    assert ratios.max_runtime_ratio == pytest.approx(3.0)
+    assert ratios.max_count_ratio == pytest.approx(100.0)
+    assert ratios.at_threshold_count == 0.1
+    assert "fewer" in ratios.describe("patterns")
+
+
+def test_headline_ratios_empty():
+    ratios = headline_ratios([])
+    assert ratios.max_runtime_ratio == 1.0
+
+
+def test_closed_result_consistency_check(protocol_db):
+    full = mine_frequent_patterns(protocol_db, min_support=3)
+    closed = mine_closed_patterns(protocol_db, min_support=3)
+    assert closed_result_is_consistent(full, closed) == []
+    # Break the closed result on purpose: drop everything.
+    closed.patterns = []
+    assert closed_result_is_consistent(full, closed) != []
+
+
+def test_nonredundant_result_consistency_check(protocol_db):
+    config = RuleMiningConfig(min_s_support=2, min_confidence=0.6, max_consequent_length=3)
+    full = FullRecurrentRuleMiner(config).mine(protocol_db)
+    non_redundant = NonRedundantRecurrentRuleMiner(config).mine(protocol_db)
+    assert nonredundant_result_is_consistent(full, non_redundant) == []
+    non_redundant.rules = []
+    assert nonredundant_result_is_consistent(full, non_redundant) != []
+
+
+def test_format_table_alignment_and_missing_values():
+    rows = [{"a": 1, "b": "x"}, {"a": 2.5}]
+    text = format_table(rows)
+    assert "a" in text and "b" in text
+    assert "2.5" in text
+    assert format_table([]) == "(no rows)"
+
+
+def test_format_sweep_and_series(protocol_db):
+    rows = iterative_pattern_sweep(protocol_db, min_supports=[3])
+    text = format_sweep(rows, baseline_label="Full", proposed_label="Closed")
+    assert "Full runtime (s)" in text and "Closed results" in text
+    series = format_series(rows)
+    assert series["x"] == [3]
+    assert len(series["baseline_count"]) == 1
+    assert format_sweep([]) == "(no sweep rows)"

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sequence import SequenceDatabase
+from repro.jboss.workloads import (
+    SecurityWorkloadConfig,
+    TransactionWorkloadConfig,
+    generate_security_traces,
+    generate_transaction_traces,
+)
+
+
+@pytest.fixture
+def lock_database() -> SequenceDatabase:
+    """The running lock/unlock example used throughout the paper's introduction."""
+    return SequenceDatabase.from_sequences(
+        [
+            ["lock", "use", "unlock", "lock", "unlock"],
+            ["lock", "read", "unlock"],
+            ["lock", "write", "flush", "unlock", "lock", "use", "unlock"],
+        ]
+    )
+
+
+@pytest.fixture
+def abc_database() -> SequenceDatabase:
+    """A tiny hand-checkable database over the alphabet {a, b, c, d}."""
+    return SequenceDatabase.from_sequences(
+        [
+            ["a", "b", "c", "a", "b", "c"],
+            ["a", "x", "b", "c", "d"],
+            ["b", "a", "c", "b"],
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def small_transaction_traces() -> SequenceDatabase:
+    """A small deterministic JBoss transaction workload (session-scoped: reused)."""
+    config = TransactionWorkloadConfig(
+        num_traces=8,
+        min_transactions_per_trace=1,
+        max_transactions_per_trace=1,
+        rollback_probability=0.25,
+        seed=7,
+    )
+    return generate_transaction_traces(config)
+
+
+@pytest.fixture(scope="session")
+def small_security_traces() -> SequenceDatabase:
+    """A small deterministic JBoss security workload (session-scoped: reused)."""
+    config = SecurityWorkloadConfig(num_traces=12, seed=13)
+    return generate_security_traces(config)

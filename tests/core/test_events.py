@@ -1,0 +1,73 @@
+"""Tests for the event vocabulary."""
+
+import pytest
+
+from repro.core.errors import VocabularyError
+from repro.core.events import EventVocabulary
+
+
+def test_intern_assigns_dense_ids():
+    vocab = EventVocabulary()
+    assert vocab.intern("lock") == 0
+    assert vocab.intern("unlock") == 1
+    assert vocab.intern("lock") == 0
+    assert len(vocab) == 2
+
+
+def test_constructor_interns_initial_labels():
+    vocab = EventVocabulary(["a", "b", "a"])
+    assert len(vocab) == 2
+    assert vocab.id_of("b") == 1
+
+
+def test_label_round_trip():
+    vocab = EventVocabulary()
+    for label in ["x", "y", "z"]:
+        vocab.intern(label)
+    assert vocab.label_of(vocab.id_of("y")) == "y"
+    assert vocab.labels() == ("x", "y", "z")
+
+
+def test_id_of_unknown_label_raises():
+    vocab = EventVocabulary(["a"])
+    with pytest.raises(VocabularyError):
+        vocab.id_of("missing")
+
+
+def test_label_of_unknown_id_raises():
+    vocab = EventVocabulary(["a"])
+    with pytest.raises(VocabularyError):
+        vocab.label_of(5)
+    with pytest.raises(VocabularyError):
+        vocab.label_of(-1)
+
+
+def test_encode_with_registration():
+    vocab = EventVocabulary()
+    assert vocab.encode(["a", "b", "a"], register=True) == (0, 1, 0)
+
+
+def test_encode_without_registration_raises_on_unknown():
+    vocab = EventVocabulary(["a"])
+    with pytest.raises(VocabularyError):
+        vocab.encode(["a", "b"])
+
+
+def test_decode_inverts_encode():
+    vocab = EventVocabulary()
+    encoded = vocab.encode(["m", "n", "m", "o"], register=True)
+    assert vocab.decode(encoded) == ("m", "n", "m", "o")
+
+
+def test_contains_and_iteration():
+    vocab = EventVocabulary(["a", "b"])
+    assert "a" in vocab
+    assert "c" not in vocab
+    assert list(vocab) == ["a", "b"]
+
+
+def test_non_string_labels_are_supported():
+    vocab = EventVocabulary()
+    assert vocab.intern(("Class", "method")) == 0
+    assert vocab.intern(42) == 1
+    assert vocab.label_of(0) == ("Class", "method")

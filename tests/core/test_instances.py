@@ -1,0 +1,101 @@
+"""Tests for the QRE instance semantics (Definition 4.1)."""
+
+import pytest
+
+from repro.core.errors import PatternError
+from repro.core.instances import (
+    PatternInstance,
+    find_instances,
+    find_instances_in_sequence,
+    gap_events,
+    instance_support,
+    instances_correspond,
+    sequence_support,
+)
+
+
+def test_single_event_instances_are_occurrences():
+    assert find_instances_in_sequence(["a", "b", "a"], ["a"]) == [(0, 0), (2, 2)]
+
+
+def test_simple_instance_with_gap():
+    # Events outside the pattern alphabet may appear freely in gaps.
+    assert find_instances_in_sequence(["lock", "use", "unlock"], ["lock", "unlock"]) == [(0, 2)]
+
+
+def test_alphabet_event_in_gap_breaks_instance():
+    # A second 'lock' between the pattern events violates the QRE.
+    trace = ["lock", "lock", "unlock"]
+    assert find_instances_in_sequence(trace, ["lock", "unlock"]) == [(1, 2)]
+
+
+def test_total_ordering_requirement():
+    # Mirrors the telephone-switching counter-example of Section 3.2: an
+    # out-of-order repetition of a pattern event invalidates the match.
+    pattern = ["off_hook", "ring_tone", "answer", "connection_on"]
+    bad_trace = ["off_hook", "ring_tone", "answer", "ring_tone", "connection_on"]
+    assert find_instances_in_sequence(bad_trace, pattern) == []
+
+
+def test_one_to_one_correspondence_requirement():
+    pattern = ["answer", "connection_on"]
+    bad_trace = ["answer", "answer", "connection_on"]
+    # Only the second 'answer' starts a valid instance.
+    assert find_instances_in_sequence(bad_trace, pattern) == [(1, 2)]
+
+
+def test_repeated_event_pattern():
+    assert find_instances_in_sequence(["a", "a", "a"], ["a", "a"]) == [(0, 1), (1, 2)]
+    assert find_instances_in_sequence(["a", "x", "a"], ["a", "a"]) == [(0, 2)]
+
+
+def test_instance_determined_by_start():
+    # At most one instance can start at any given position.
+    trace = ["a", "b", "a", "b"]
+    spans = find_instances_in_sequence(trace, ["a", "b"])
+    starts = [start for start, _ in spans]
+    assert len(starts) == len(set(starts))
+
+
+def test_empty_pattern_rejected():
+    with pytest.raises(PatternError):
+        find_instances_in_sequence(["a"], [])
+
+
+def test_find_instances_across_database():
+    db = [["a", "b"], ["b", "a", "b"], ["c"]]
+    instances = find_instances(db, ["a", "b"])
+    assert instances == [PatternInstance(0, 0, 1), PatternInstance(1, 1, 2)]
+    assert instance_support(db, ["a", "b"]) == 2
+    assert sequence_support(db, ["a", "b"]) == 2
+    assert sequence_support(db, ["c"]) == 1
+
+
+def test_instances_repeat_within_a_sequence():
+    db = [["lock", "unlock", "lock", "x", "unlock"]]
+    assert instance_support(db, ["lock", "unlock"]) == 2
+
+
+def test_correspondence():
+    sub = [PatternInstance(0, 2, 3)]
+    sup = [PatternInstance(0, 1, 5)]
+    assert instances_correspond(sub, sup)
+    assert not instances_correspond([PatternInstance(0, 0, 6)], sup)
+    assert not instances_correspond([PatternInstance(1, 2, 3)], sup)
+
+
+def test_correspondence_requires_unique_targets():
+    sub = [PatternInstance(0, 2, 3), PatternInstance(0, 3, 4)]
+    sup = [PatternInstance(0, 0, 9)]
+    # Two sub-instances cannot map to the same super-instance.
+    assert not instances_correspond(sub, sup)
+    sup_two = [PatternInstance(0, 0, 9), PatternInstance(0, 1, 8)]
+    assert instances_correspond(sub, sup_two)
+
+
+def test_gap_events_reports_gap_index_and_position():
+    trace = ["a", "x", "b", "y", "z", "c"]
+    events = list(gap_events(trace, ["a", "b", "c"], (0, 5)))
+    assert (1, 1) in events  # 'x' in the gap before the 2nd pattern event
+    assert (2, 3) in events and (2, 4) in events  # 'y', 'z' before the 3rd
+    assert len(events) == 3

@@ -1,0 +1,96 @@
+"""Tests for the pattern algebra."""
+
+import pytest
+
+from repro.core.errors import PatternError
+from repro.core.pattern import (
+    alphabet,
+    as_pattern,
+    concat,
+    first,
+    format_pattern,
+    is_proper_subsequence,
+    is_subsequence,
+    is_supersequence,
+    last,
+    prefixes,
+    subpatterns,
+    suffixes,
+)
+
+
+def test_first_and_last():
+    assert first(("a", "b", "c")) == "a"
+    assert last(("a", "b", "c")) == "c"
+
+
+def test_first_and_last_reject_empty():
+    with pytest.raises(PatternError):
+        first(())
+    with pytest.raises(PatternError):
+        last(())
+
+
+def test_concat():
+    assert concat(("a",), ("b", "c"), ()) == ("a", "b", "c")
+    assert concat() == ()
+
+
+def test_as_pattern_normalises():
+    assert as_pattern(["a", "b"]) == ("a", "b")
+
+
+def test_subsequence_positive_cases():
+    assert is_subsequence((), ("a", "b"))
+    assert is_subsequence(("a",), ("a", "b"))
+    assert is_subsequence(("a", "c"), ("a", "b", "c"))
+    assert is_subsequence(("b", "b"), ("a", "b", "c", "b"))
+
+
+def test_subsequence_negative_cases():
+    assert not is_subsequence(("c", "a"), ("a", "b", "c"))
+    assert not is_subsequence(("a", "a"), ("a", "b"))
+    assert not is_subsequence(("a", "b", "c", "d"), ("a", "b", "c"))
+
+
+def test_subsequence_respects_multiplicity():
+    # <a, a> requires two occurrences of a.
+    assert is_subsequence(("a", "a"), ("a", "x", "a"))
+    assert not is_subsequence(("a", "a", "a"), ("a", "x", "a"))
+
+
+def test_proper_subsequence_and_supersequence():
+    assert is_proper_subsequence(("a",), ("a", "b"))
+    assert not is_proper_subsequence(("a", "b"), ("a", "b"))
+    assert is_supersequence(("a", "b"), ("b",))
+
+
+def test_alphabet():
+    assert alphabet(("a", "b", "a")) == {"a", "b"}
+
+
+def test_subpatterns_enumerates_unique_subsequences():
+    result = set(subpatterns(("a", "b", "a")))
+    assert result == {
+        ("a",),
+        ("b",),
+        ("a", "b"),
+        ("b", "a"),
+        ("a", "a"),
+        ("a", "b", "a"),
+    }
+
+
+def test_subpatterns_with_empty():
+    assert () in set(subpatterns(("a",), include_empty=True))
+
+
+def test_prefixes_and_suffixes():
+    assert list(prefixes(("a", "b", "c"))) == [("a",), ("a", "b")]
+    assert list(prefixes(("a", "b"), proper=False)) == [("a",), ("a", "b")]
+    assert list(suffixes(("a", "b", "c"))) == [("c",), ("b", "c")]
+    assert list(suffixes(("a", "b"), proper=False)) == [("b",), ("a", "b")]
+
+
+def test_format_pattern():
+    assert format_pattern(("lock", "unlock")) == "<lock, unlock>"

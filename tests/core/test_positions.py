@@ -1,0 +1,62 @@
+"""Tests for the per-event position indexes."""
+
+from repro.core.positions import PositionIndex, SequencePositions
+
+
+def test_positions_of_and_count():
+    positions = SequencePositions([0, 1, 0, 2, 0])
+    assert positions.positions_of(0) == [0, 2, 4]
+    assert positions.count(0) == 3
+    assert positions.count(9) == 0
+    assert positions.positions_of(9) == []
+    assert positions.length == 5
+
+
+def test_first_after_and_at_or_after():
+    positions = SequencePositions([5, 6, 5, 7])
+    assert positions.first_after(5, -1) == 0
+    assert positions.first_after(5, 0) == 2
+    assert positions.first_after(5, 2) is None
+    assert positions.first_at_or_after(6, 1) == 1
+    assert positions.first_at_or_after(6, 2) is None
+
+
+def test_last_before():
+    positions = SequencePositions([5, 6, 5, 7])
+    assert positions.last_before(5, 2) == 0
+    assert positions.last_before(5, 3) == 2
+    assert positions.last_before(5, 0) is None
+    assert positions.last_before(9, 3) is None
+
+
+def test_occurs_between_open_interval():
+    positions = SequencePositions([1, 2, 3, 2, 1])
+    assert positions.occurs_between(2, 0, 2)  # position 1
+    assert not positions.occurs_between(2, 1, 3)  # strictly between 1 and 3 there is nothing = position 2 only -> 3 is event id... check
+    assert positions.occurs_between(3, 1, 3)
+    assert not positions.occurs_between(1, 0, 4)
+    assert not positions.occurs_between(2, 2, 3)  # empty open interval
+
+
+def test_count_between():
+    positions = SequencePositions([1, 2, 2, 2, 1])
+    assert positions.count_between(2, 0, 4) == 3
+    assert positions.count_between(2, 1, 3) == 1
+    assert positions.count_between(1, 0, 4) == 0
+
+
+def test_distinct_events():
+    positions = SequencePositions([4, 4, 5])
+    assert set(positions.distinct_events()) == {4, 5}
+
+
+def test_position_index_supports():
+    index = PositionIndex([[0, 1, 0], [1, 2], [2]])
+    assert len(index) == 3
+    assert index.sequence_support(0) == 1
+    assert index.sequence_support(1) == 2
+    assert index.sequence_support(2) == 2
+    assert index.instance_support(0) == 2
+    assert index.instance_support(2) == 2
+    assert index.distinct_events() == (0, 1, 2)
+    assert index[0].count(0) == 2

@@ -1,0 +1,82 @@
+"""Tests for sequences and the sequence database."""
+
+import pytest
+
+from repro.core.errors import DataFormatError
+from repro.core.sequence import Sequence, SequenceDatabase
+
+
+def test_sequence_basics():
+    sequence = Sequence(["a", "b", "c"], name="t1", attributes={"component": "tx"})
+    assert len(sequence) == 3
+    assert sequence[1] == "b"
+    assert list(sequence) == ["a", "b", "c"]
+    assert sequence.attributes["component"] == "tx"
+
+
+def test_sequence_equality_and_hash():
+    assert Sequence(["a", "b"], name="x") == Sequence(["a", "b"], name="x")
+    assert Sequence(["a", "b"]) != Sequence(["a", "c"])
+    assert len({Sequence(["a"]), Sequence(["a"])}) == 1
+
+
+def test_database_from_sequences_and_access():
+    db = SequenceDatabase.from_sequences([["a", "b"], ["b", "c", "a"]])
+    assert len(db) == 2
+    assert db[0] == ("a", "b")
+    assert db[1] == ("b", "c", "a")
+    assert list(db) == [("a", "b"), ("b", "c", "a")]
+
+
+def test_database_add_returns_index_and_keeps_names():
+    db = SequenceDatabase()
+    index = db.add(["a", "b"], name="trace-0")
+    assert index == 0
+    assert db.name(0) == "trace-0"
+    assert db.sequence(0).name == "trace-0"
+
+
+def test_database_add_accepts_sequence_objects():
+    db = SequenceDatabase()
+    db.add(Sequence(["a", "b"], name="named"))
+    assert db.name(0) == "named"
+
+
+def test_encoded_view_shares_vocabulary():
+    db = SequenceDatabase.from_sequences([["a", "b"], ["b", "a"]])
+    assert db.encoded_sequence(0) == (0, 1)
+    assert db.encoded_sequence(1) == (1, 0)
+    assert db.alphabet_size() == 2
+    assert set(db.labels()) == {"a", "b"}
+
+
+def test_statistics():
+    db = SequenceDatabase.from_sequences([["a"] * 4, ["b"] * 2])
+    assert db.total_events() == 6
+    assert db.average_length() == 3.0
+    stats = db.describe()
+    assert stats["sequences"] == 2.0
+    assert stats["max_length"] == 4.0
+    assert stats["min_length"] == 2.0
+
+
+def test_empty_database_statistics():
+    db = SequenceDatabase()
+    assert db.average_length() == 0.0
+    assert db.describe()["avg_length"] == 0.0
+
+
+def test_absolute_support_relative_and_absolute():
+    db = SequenceDatabase.from_sequences([["a"]] * 10)
+    assert db.absolute_support(0.5) == 5
+    assert db.absolute_support(1) == 10  # 1.0 is relative: all sequences
+    assert db.absolute_support(3) == 3
+    assert db.absolute_support(0.001) == 1  # never below 1
+
+
+def test_absolute_support_rejects_nonpositive():
+    db = SequenceDatabase.from_sequences([["a"]])
+    with pytest.raises(DataFormatError):
+        db.absolute_support(0)
+    with pytest.raises(DataFormatError):
+        db.absolute_support(-2)

@@ -1,0 +1,53 @@
+"""Tests for mining statistics and the timer helper."""
+
+import time
+
+from repro.core.stats import MiningStats, Timer
+
+
+def test_counters_default_to_zero():
+    stats = MiningStats()
+    assert stats.visited == 0
+    assert stats.emitted == 0
+    assert stats.elapsed_seconds == 0.0
+
+
+def test_bump_named_counters():
+    stats = MiningStats()
+    stats.bump("pruned_absorption")
+    stats.bump("pruned_absorption", 4)
+    assert stats.extra["pruned_absorption"] == 5
+    assert stats.as_dict()["extra_pruned_absorption"] == 5.0
+
+
+def test_start_stop_accumulates_elapsed_time():
+    stats = MiningStats()
+    stats.start()
+    time.sleep(0.01)
+    stats.stop()
+    first = stats.elapsed_seconds
+    assert first > 0
+    stats.start()
+    time.sleep(0.01)
+    stats.stop()
+    assert stats.elapsed_seconds > first
+
+
+def test_stop_without_start_is_noop():
+    stats = MiningStats()
+    stats.stop()
+    assert stats.elapsed_seconds == 0.0
+
+
+def test_as_dict_contains_standard_counters():
+    stats = MiningStats(visited=3, emitted=2, pruned_support=1)
+    payload = stats.as_dict()
+    assert payload["visited"] == 3.0
+    assert payload["emitted"] == 2.0
+    assert payload["pruned_support"] == 1.0
+
+
+def test_timer_context_manager():
+    with Timer() as timer:
+        time.sleep(0.01)
+    assert timer.seconds >= 0.005

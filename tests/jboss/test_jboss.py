@@ -1,0 +1,141 @@
+"""Tests for the simulated JBoss components and workloads."""
+
+import pytest
+
+from repro.jboss.reference import (
+    FIGURE4_PATTERN,
+    FIGURE5_CONSEQUENT,
+    FIGURE5_PREMISE,
+    JTA_COMMIT_PATTERN,
+    TRANSACTION_ROLLBACK,
+)
+from repro.jboss.security import JaasSecurityService
+from repro.jboss.transaction import TransactionClient
+from repro.jboss.workloads import (
+    SecurityWorkloadConfig,
+    TransactionWorkloadConfig,
+    generate_case_study_traces,
+    generate_security_traces,
+    generate_transaction_traces,
+)
+from repro.traces.trace import TraceCollector
+
+
+def test_figure4_pattern_has_32_events_and_matches_the_figure_blocks():
+    assert len(FIGURE4_PATTERN) == 32
+    assert FIGURE4_PATTERN[0] == "TransactionManagerLocator.getInstance"
+    assert FIGURE4_PATTERN[-1] == "LocalId.equals"
+    assert "TxManager.begin" in FIGURE4_PATTERN
+    assert "TxManager.commit" in FIGURE4_PATTERN
+
+
+def test_figure5_rule_shape():
+    assert len(FIGURE5_PREMISE) == 2
+    assert len(FIGURE5_CONSEQUENT) == 12
+    assert FIGURE5_CONSEQUENT.count("SecAssoc.getPrincipal") == 2
+    assert FIGURE5_CONSEQUENT.count("SecAssoc.getCredential") == 2
+
+
+def test_committed_transaction_records_exactly_the_figure4_protocol():
+    collector = TraceCollector()
+    with collector.trace("commit"):
+        client = TransactionClient(collector)
+        status = client.run_transaction(commit=True)
+    assert status == "COMMITTED"
+    assert tuple(collector.traces[0].events) == FIGURE4_PATTERN
+
+
+def test_client_work_is_interleaved_inside_the_protocol():
+    collector = TraceCollector()
+    with collector.trace("commit"):
+        TransactionClient(collector).run_transaction(commit=True, work=["SQL.execute"])
+    events = collector.traces[0].events
+    assert "SQL.execute" in events
+    # Removing the work event leaves exactly the protocol.
+    assert tuple(e for e in events if e != "SQL.execute") == FIGURE4_PATTERN
+    # The work happens after transaction set-up and before the commit block.
+    assert events.index("SQL.execute") > events.index("TransactionImpl.associateCurrentThread")
+    assert events.index("SQL.execute") < events.index("TxManager.commit")
+
+
+def test_rolled_back_transaction_records_the_rollback_variant():
+    collector = TraceCollector()
+    with collector.trace("rollback"):
+        status = TransactionClient(collector).run_transaction(commit=False)
+    assert status == "ROLLED_BACK"
+    events = collector.traces[0].events
+    assert "TxManager.rollback" in events
+    assert "TxManager.commit" not in events
+    for event in TRANSACTION_ROLLBACK:
+        assert event in events
+    # JTA: begin happens before rollback.
+    assert events.index("TxManager.begin") < events.index("TxManager.rollback")
+    assert events.index(JTA_COMMIT_PATTERN[0]) == events.index("TxManager.begin")
+
+
+def test_successful_authentication_records_premise_then_consequent():
+    collector = TraceCollector()
+    with collector.trace("auth"):
+        service = JaasSecurityService(collector)
+        outcome = service.authenticate(username="alice", uses=2)
+    assert outcome.authenticated and outcome.configuration_found
+    assert outcome.principal_name == "alice"
+    assert tuple(collector.traces[0].events) == FIGURE5_PREMISE + FIGURE5_CONSEQUENT
+
+
+def test_failed_login_stops_after_abort():
+    collector = TraceCollector()
+    with collector.trace("auth"):
+        outcome = JaasSecurityService(collector).authenticate(valid_credentials=False)
+    assert not outcome.authenticated and outcome.configuration_found
+    events = collector.traces[0].events
+    assert events[-1] == "ClientLoginMod.abort"
+    assert "ClientLoginMod.commit" not in events
+
+
+def test_missing_configuration_records_only_the_lookup():
+    collector = TraceCollector()
+    with collector.trace("auth"):
+        outcome = JaasSecurityService(collector).authenticate(entry_name="missing")
+    assert not outcome.configuration_found
+    assert collector.traces[0].events == ["XmlLoginCI.getConfEntry"]
+
+
+def test_transaction_workload_is_deterministic_and_contains_protocol():
+    config = TransactionWorkloadConfig(num_traces=5, seed=1)
+    first = generate_transaction_traces(config)
+    second = generate_transaction_traces(config)
+    assert list(first) == list(second)
+    assert len(first) == 5
+    all_events = [event for i in range(len(first)) for event in first[i]]
+    assert "TxManager.begin" in all_events
+
+
+def test_transaction_workload_validation():
+    with pytest.raises(Exception):
+        TransactionWorkloadConfig(num_traces=0)
+    with pytest.raises(Exception):
+        TransactionWorkloadConfig(min_transactions_per_trace=3, max_transactions_per_trace=1)
+
+
+def test_security_workload_contains_all_three_scenario_kinds():
+    config = SecurityWorkloadConfig(num_traces=16, seed=5)
+    db = generate_security_traces(config)
+    assert len(db) == 16
+    flattened = [list(db[i]) for i in range(len(db))]
+    assert any("ClientLoginMod.commit" in trace for trace in flattened)
+    assert any(
+        "XmlLoginCI.getConfEntry" in trace and "AuthenInfo.getName" not in trace
+        for trace in flattened
+    ), "expected at least one configuration-unavailable trace"
+
+
+def test_combined_case_study_traces():
+    db = generate_case_study_traces(
+        TransactionWorkloadConfig(num_traces=3, seed=2),
+        SecurityWorkloadConfig(num_traces=3, seed=2),
+    )
+    assert len(db) == 6
+    names = [db.name(i) for i in range(len(db))]
+    assert any(name.startswith("tx-test") for name in names)
+    assert any(name.startswith("sec-test") for name in names)

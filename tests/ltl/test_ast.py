@@ -1,0 +1,46 @@
+"""Tests for the LTL abstract syntax."""
+
+from repro.ltl.ast import And, Atom, Finally, Globally, Implies, Next, atoms, depth
+
+
+def test_rendering_matches_paper_notation():
+    assert str(Finally(Atom("unlock"))) == "F(unlock)"
+    assert str(Next(Finally(Atom("unlock")))) == "XF(unlock)"
+    assert str(Globally(Implies(Atom("lock"), Next(Finally(Atom("unlock")))))) == (
+        "G((lock -> XF(unlock)))"
+    )
+    assert str(And(Atom("a"), Atom("b"))) == "(a /\\ b)"
+    assert str(Next(Atom("a"))) == "X(a)"
+
+
+def test_chained_next_rendering_is_compact():
+    assert str(Next(Globally(Atom("a")))) == "XG(a)"
+    assert str(Next(Next(Atom("a")))) == "XX(a)"
+
+
+def test_formula_builders():
+    lock, unlock = Atom("lock"), Atom("unlock")
+    assert lock.implies(unlock) == Implies(lock, unlock)
+    assert (lock & unlock) == And(lock, unlock)
+    assert lock.globally() == Globally(lock)
+    assert lock.eventually() == Finally(lock)
+    assert lock.next() == Next(lock)
+
+
+def test_equality_and_hashing():
+    first = Globally(Implies(Atom("a"), Finally(Atom("b"))))
+    second = Globally(Implies(Atom("a"), Finally(Atom("b"))))
+    assert first == second
+    assert hash(first) == hash(second)
+    assert first != Globally(Implies(Atom("a"), Finally(Atom("c"))))
+
+
+def test_atoms_collects_events_in_order():
+    formula = Globally(Implies(Atom("a"), Next(Finally(And(Atom("b"), Atom("a"))))))
+    assert atoms(formula) == ("a", "b", "a")
+
+
+def test_depth():
+    assert depth(Atom("a")) == 1
+    assert depth(Finally(Atom("a"))) == 2
+    assert depth(Globally(Implies(Atom("a"), Finally(Atom("b"))))) == 4

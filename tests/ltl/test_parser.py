@@ -1,0 +1,60 @@
+"""Tests for the LTL parser."""
+
+import pytest
+
+from repro.core.errors import DataFormatError
+from repro.ltl.ast import And, Atom, Finally, Globally, Implies, Next
+from repro.ltl.parser import parse_ltl
+from repro.ltl.translate import rule_to_ltl
+
+
+def test_parse_atom_and_unary_operators():
+    assert parse_ltl("unlock") == Atom("unlock")
+    assert parse_ltl("F(unlock)") == Finally(Atom("unlock"))
+    assert parse_ltl("XF(unlock)") == Next(Finally(Atom("unlock")))
+    assert parse_ltl("G(a)") == Globally(Atom("a"))
+
+
+def test_parse_implication_and_conjunction():
+    assert parse_ltl("a -> b") == Implies(Atom("a"), Atom("b"))
+    assert parse_ltl("a /\\ b") == And(Atom("a"), Atom("b"))
+    assert parse_ltl("a && b") == And(Atom("a"), Atom("b"))
+
+
+def test_implication_is_right_associative_and_binds_weakest():
+    assert parse_ltl("a -> b -> c") == Implies(Atom("a"), Implies(Atom("b"), Atom("c")))
+    assert parse_ltl("a /\\ b -> c") == Implies(And(Atom("a"), Atom("b")), Atom("c"))
+
+
+def test_parse_table1_formulas():
+    assert parse_ltl("G(lock -> XF(unlock))") == Globally(
+        Implies(Atom("lock"), Next(Finally(Atom("unlock"))))
+    )
+    nested = parse_ltl("G(main -> XG(lock -> XF(unlock -> XF(end))))")
+    assert isinstance(nested, Globally)
+
+
+def test_round_trip_through_str():
+    for premise, consequent in [(("a",), ("b",)), (("a", "b"), ("c", "d"))]:
+        formula = rule_to_ltl(premise, consequent)
+        assert parse_ltl(str(formula)) == formula
+
+
+def test_method_call_atoms_are_supported():
+    formula = parse_ltl("G(TxManager.begin -> XF(TxManager.commit))")
+    assert formula == Globally(
+        Implies(Atom("TxManager.begin"), Next(Finally(Atom("TxManager.commit"))))
+    )
+
+
+def test_parse_errors():
+    with pytest.raises(DataFormatError):
+        parse_ltl("")
+    with pytest.raises(DataFormatError):
+        parse_ltl("G(a")
+    with pytest.raises(DataFormatError):
+        parse_ltl("a -> ")
+    with pytest.raises(DataFormatError):
+        parse_ltl("a b")
+    with pytest.raises(DataFormatError):
+        parse_ltl("(a -> b) %%")

@@ -1,0 +1,47 @@
+"""Tests for the Table 1 English rendering."""
+
+from repro.ltl.ast import Atom, Finally, Globally, Next
+from repro.ltl.parser import parse_ltl
+from repro.ltl.pretty import describe_rule, explain
+from repro.ltl.translate import rule_to_ltl
+
+
+def test_table1_row1():
+    assert explain(Finally(Atom("unlock"))) == "Eventually unlock is called"
+
+
+def test_table1_row2():
+    assert (
+        explain(Next(Finally(Atom("unlock"))))
+        == "From the next event onwards, eventually unlock is called"
+    )
+
+
+def test_table1_row3():
+    formula = parse_ltl("G(lock -> XF(unlock))")
+    assert explain(formula) == (
+        "Globally whenever lock is called, then from the next event onwards, "
+        "eventually unlock is called"
+    )
+
+
+def test_table1_row4():
+    formula = rule_to_ltl(("main", "lock"), ("unlock", "end"))
+    assert explain(formula) == (
+        "Globally whenever main followed by lock are called, then from the next event "
+        "onwards, eventually unlock followed by end are called"
+    )
+
+
+def test_fallback_for_other_formulas():
+    text = explain(Globally(Atom("ping")))
+    assert "G(ping)" in text
+
+
+def test_describe_rule_single_and_multi_event():
+    assert describe_rule(("lock",), ("unlock",)) == (
+        "Whenever lock has just occurred, eventually unlock occurs"
+    )
+    text = describe_rule(("connect", "auth"), ("transfer", "receipt"))
+    assert text.startswith("Whenever connect followed by auth have just occurred")
+    assert text.endswith("transfer followed by receipt occur")

@@ -1,0 +1,72 @@
+"""Tests for the finite-trace LTL semantics."""
+
+from repro.ltl.ast import And, Atom, Finally, Globally, Implies, Next
+from repro.ltl.semantics import holds
+from repro.ltl.translate import rule_to_ltl
+
+
+def test_atom():
+    assert holds(Atom("a"), ["a", "b"])
+    assert not holds(Atom("b"), ["a", "b"])
+    assert holds(Atom("b"), ["a", "b"], position=1)
+    assert not holds(Atom("a"), [])
+
+
+def test_finally():
+    assert holds(Finally(Atom("c")), ["a", "b", "c"])
+    assert not holds(Finally(Atom("z")), ["a", "b", "c"])
+    assert holds(Finally(Atom("a")), ["a"])  # F includes the current position
+
+
+def test_next():
+    assert holds(Next(Atom("b")), ["a", "b"])
+    assert not holds(Next(Atom("a")), ["a", "b"])
+    assert not holds(Next(Atom("a")), ["a"])  # no next position at the end
+
+
+def test_globally():
+    assert holds(Globally(Atom("a")), ["a", "a", "a"])
+    assert not holds(Globally(Atom("a")), ["a", "b", "a"])
+    assert holds(Globally(Atom("a")), [])  # vacuously true
+
+
+def test_implication_and_conjunction():
+    formula = Implies(Atom("a"), Finally(Atom("b")))
+    assert holds(formula, ["a", "b"])
+    assert holds(formula, ["c"])  # antecedent false
+    assert holds(And(Atom("a"), Finally(Atom("b"))), ["a", "b"])
+    assert not holds(And(Atom("a"), Finally(Atom("b"))), ["a"])
+
+
+def test_table1_row3_lock_unlock():
+    formula = Globally(Implies(Atom("lock"), Next(Finally(Atom("unlock")))))
+    assert holds(formula, ["lock", "use", "unlock"])
+    assert holds(formula, ["read", "write"])  # no lock at all
+    assert not holds(formula, ["lock", "use"])
+    assert not holds(formula, ["lock", "unlock", "lock"])  # second lock unmatched
+    # XF requires a *later* unlock: a single event cannot satisfy itself.
+    assert not holds(formula, ["lock"])
+
+
+def test_table1_row4_nested_rule():
+    formula = rule_to_ltl(("main", "lock"), ("unlock", "end"))
+    assert holds(formula, ["main", "lock", "work", "unlock", "end"])
+    assert not holds(formula, ["main", "lock", "work", "unlock"])
+    assert holds(formula, ["lock", "unlock"])  # main never occurs before lock
+    assert holds(formula, ["main", "setup"])  # lock never follows main
+
+
+def test_evaluation_from_interior_positions():
+    formula = Finally(Atom("c"))
+    assert holds(formula, ["c", "a", "b"], position=0)
+    assert not holds(formula, ["c", "a", "b"], position=1)
+
+
+def test_memoisation_handles_repeated_subformulas():
+    # A deeply nested translation evaluated over a longer trace exercises the
+    # (formula, position) memo table; correctness is what matters here.
+    premise = ("a", "b", "a")
+    consequent = ("c", "d", "c", "d")
+    formula = rule_to_ltl(premise, consequent)
+    trace = ["a", "b", "a", "c", "d", "c", "d"] * 3
+    assert holds(formula, trace) in (True, False)

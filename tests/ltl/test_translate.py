@@ -1,0 +1,68 @@
+"""Tests for rule <-> LTL translation (Table 2 and the Section 3.3 BNF)."""
+
+import pytest
+
+from repro.core.errors import PatternError
+from repro.ltl.ast import And, Atom, Finally, Globally, Next
+from repro.ltl.translate import consequent_to_ltl, is_minable, ltl_to_rule, rule_to_ltl
+
+
+def test_table2_row1():
+    assert str(rule_to_ltl(("a",), ("b",))) == "G((a -> XF(b)))"
+
+
+def test_table2_row2():
+    assert str(rule_to_ltl(("a", "b"), ("c",))) == "G((a -> XG((b -> XF(c)))))"
+
+
+def test_table2_row3():
+    assert str(rule_to_ltl(("a",), ("b", "c"))) == "G((a -> XF((b /\\ XF(c)))))"
+
+
+def test_table2_row4():
+    assert str(rule_to_ltl(("a", "b"), ("c", "d"))) == "G((a -> XG((b -> XF((c /\\ XF(d)))))))"
+
+
+def test_consequent_with_repeated_event_uses_distinct_occurrences():
+    # <a> -> <b, b>: the X operator is what makes the two b's distinct.
+    formula = rule_to_ltl(("a",), ("b", "b"))
+    assert str(formula) == "G((a -> XF((b /\\ XF(b)))))"
+
+
+def test_round_trip_for_various_shapes():
+    cases = [
+        (("a",), ("b",)),
+        (("a", "b"), ("c",)),
+        (("a",), ("b", "c", "d")),
+        (("x", "y", "z"), ("p", "q")),
+        (("a", "a"), ("b", "b")),
+    ]
+    for premise, consequent in cases:
+        assert ltl_to_rule(rule_to_ltl(premise, consequent)) == (premise, consequent)
+
+
+def test_empty_sides_rejected():
+    with pytest.raises(PatternError):
+        rule_to_ltl((), ("a",))
+    with pytest.raises(PatternError):
+        rule_to_ltl(("a",), ())
+    with pytest.raises(PatternError):
+        consequent_to_ltl(())
+
+
+def test_ltl_to_rule_rejects_formulas_outside_the_fragment():
+    with pytest.raises(PatternError):
+        ltl_to_rule(Atom("a"))
+    with pytest.raises(PatternError):
+        ltl_to_rule(Globally(Atom("a")))
+    with pytest.raises(PatternError):
+        ltl_to_rule(Globally(And(Atom("a"), Atom("b"))))
+    with pytest.raises(PatternError):
+        # F without the leading X is not produced by the BNF.
+        ltl_to_rule(Globally(Atom("a").implies(Finally(Atom("b")))))
+
+
+def test_is_minable():
+    assert is_minable(rule_to_ltl(("a", "b"), ("c", "d")))
+    assert not is_minable(Finally(Atom("a")))
+    assert not is_minable(Globally(Next(Atom("a"))))

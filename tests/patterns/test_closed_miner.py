@@ -1,0 +1,100 @@
+"""Tests for the closed iterative pattern miner (Definition 4.2)."""
+
+from repro.core.sequence import SequenceDatabase
+from repro.patterns.closed_miner import ClosedIterativePatternMiner, mine_closed_patterns
+from repro.patterns.config import IterativeMiningConfig
+from repro.patterns.full_miner import mine_frequent_patterns
+
+
+def test_lock_unlock_collapses_to_the_closed_pattern(lock_database):
+    closed = mine_closed_patterns(lock_database, min_support=5)
+    assert sorted(pattern.events for pattern in closed) == [("lock", "unlock")]
+
+
+def test_closed_is_subset_of_full_with_same_supports(abc_database):
+    full = mine_frequent_patterns(abc_database, min_support=2)
+    closed = mine_closed_patterns(abc_database, min_support=2)
+    full_supports = {pattern.events: pattern.support for pattern in full}
+    assert len(closed) <= len(full)
+    for pattern in closed:
+        assert full_supports[pattern.events] == pattern.support
+
+
+def test_every_frequent_pattern_has_a_closed_cover(abc_database):
+    full = mine_frequent_patterns(abc_database, min_support=2)
+    closed = mine_closed_patterns(abc_database, min_support=2)
+    from repro.core.pattern import is_subsequence
+
+    for pattern in full:
+        assert any(
+            is_subsequence(pattern.events, closed_pattern.events)
+            and closed_pattern.support >= pattern.support
+            for closed_pattern in closed
+        )
+
+
+def test_forward_absorption_removes_prefixes():
+    # 'a' is always followed by 'b': <a> is not closed, <a, b> is.
+    db = SequenceDatabase.from_sequences([["a", "b"], ["x", "a", "y", "b"]])
+    closed = mine_closed_patterns(db, min_support=2)
+    events = {pattern.events for pattern in closed}
+    assert ("a", "b") in events
+    assert ("a",) not in events
+
+
+def test_backward_absorption_removes_suffixes():
+    db = SequenceDatabase.from_sequences([["a", "b"], ["x", "a", "y", "b"]])
+    closed = mine_closed_patterns(db, min_support=2)
+    assert ("b",) not in {pattern.events for pattern in closed}
+
+
+def test_infix_absorption_removes_gappy_pattern():
+    # 'm' always occurs between 'a' and 'b', exactly once: <a, b> is not
+    # closed because <a, m, b> has the same support and corresponds.
+    db = SequenceDatabase.from_sequences([["a", "m", "b"], ["a", "m", "b", "z"]])
+    closed = mine_closed_patterns(db, min_support=2)
+    events = {pattern.events for pattern in closed}
+    assert ("a", "m", "b") in events
+    assert ("a", "b") not in events
+
+
+def test_infix_check_can_be_disabled():
+    db = SequenceDatabase.from_sequences([["a", "m", "b"], ["a", "m", "b", "z"]])
+    config = IterativeMiningConfig(min_support=2, check_infix_extensions=False)
+    closed = ClosedIterativePatternMiner(config).mine(db)
+    events = {pattern.events for pattern in closed}
+    # Without the infix check <a, b> survives (it has no same-support
+    # forward or backward single-event extension).
+    assert ("a", "b") in events
+
+
+def test_pattern_with_different_support_than_extension_is_kept():
+    db = SequenceDatabase.from_sequences([["a", "b"], ["a", "c"], ["a", "b"]])
+    closed = mine_closed_patterns(db, min_support=2)
+    events = {pattern.events for pattern in closed}
+    assert ("a",) in events  # support 3, no extension reaches 3
+    assert ("a", "b") in events  # support 2
+
+
+def test_absorption_pruning_preserves_the_lock_unlock_result(lock_database):
+    exact = mine_closed_patterns(lock_database, min_support=4)
+    pruned = ClosedIterativePatternMiner(
+        IterativeMiningConfig(min_support=4, adjacent_absorption_pruning=True)
+    ).mine(lock_database)
+    assert {p.events for p in pruned} <= {p.events for p in exact}
+    assert ("lock", "unlock") in {p.events for p in pruned}
+    assert pruned.stats.visited <= exact.stats.visited
+
+
+def test_closed_result_flags():
+    db = SequenceDatabase.from_sequences([["a", "b"]] * 2)
+    closed = mine_closed_patterns(db, min_support=2)
+    assert closed.closed_only is True
+    assert closed.min_support == 2
+    full = mine_frequent_patterns(db, min_support=2)
+    assert full.closed_only is False
+
+
+def test_closure_pruning_counter_increases(lock_database):
+    closed = mine_closed_patterns(lock_database, min_support=4)
+    assert closed.stats.pruned_closure > 0

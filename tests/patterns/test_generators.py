@@ -1,0 +1,64 @@
+"""Tests for generator pattern mining (the paper's future-work extension)."""
+
+from repro.core.sequence import SequenceDatabase
+from repro.patterns.closed_miner import mine_closed_patterns
+from repro.patterns.full_miner import mine_frequent_patterns
+from repro.patterns.generators import (
+    GeneratorPatternMiner,
+    mine_generators,
+    propose_generator_rules,
+)
+from repro.patterns.config import IterativeMiningConfig
+
+
+def test_generators_are_minimal_members():
+    # 'a' always leads to 'b': <a> and <b> are generators (deleting nothing
+    # further is possible), while <a, b> shares its support with <a> and <b>
+    # and therefore is not a generator.
+    db = SequenceDatabase.from_sequences([["a", "x", "b"], ["a", "b", "y"]])
+    generators = mine_generators(db, min_support=2)
+    events = {pattern.events for pattern in generators}
+    assert ("a",) in events
+    assert ("b",) in events
+    assert ("a", "b") not in events
+
+
+def test_pattern_sharing_support_with_a_deletion_is_not_a_generator():
+    db = SequenceDatabase.from_sequences([["a", "b"], ["a", "c"], ["a", "b"]])
+    generators = mine_generators(db, min_support=2)
+    events = {pattern.events for pattern in generators}
+    assert ("a",) in events
+    assert ("b",) in events
+    # <a, b> has the same support (2) as its deletion <b>, so it is not minimal.
+    assert ("a", "b") not in events
+
+
+def test_generator_set_is_subset_of_frequent_set(abc_database):
+    full = mine_frequent_patterns(abc_database, min_support=2)
+    generators = GeneratorPatternMiner(IterativeMiningConfig(min_support=2)).filter_generators(
+        abc_database, full
+    )
+    full_events = {pattern.events for pattern in full}
+    assert {pattern.events for pattern in generators} <= full_events
+
+
+def test_single_events_are_always_generators(abc_database):
+    generators = mine_generators(abc_database, min_support=2)
+    singletons = {pattern.events for pattern in generators if len(pattern) == 1}
+    full_singletons = {
+        pattern.events
+        for pattern in mine_frequent_patterns(abc_database, min_support=2)
+        if len(pattern) == 1
+    }
+    assert singletons == full_singletons
+
+
+def test_propose_generator_rules_pairs_by_support():
+    db = SequenceDatabase.from_sequences([["a", "x", "b"], ["a", "b", "y"]])
+    generators = mine_generators(db, min_support=2)
+    closed = mine_closed_patterns(db, min_support=2)
+    pairs = propose_generator_rules(generators, closed)
+    assert pairs, "expected at least one generator/closed pairing"
+    for generator, closed_pattern in pairs:
+        assert generator.support == closed_pattern.support
+        assert len(generator) < len(closed_pattern)

@@ -1,0 +1,62 @@
+"""Tests for the Definition 5.2 redundancy filter."""
+
+from repro.rules.redundancy import filter_redundant, find_redundant
+from repro.rules.rule import RecurrentRule
+
+
+def _rule(premise, consequent, s=2, i=3, c=0.8):
+    return RecurrentRule(
+        premise=tuple(premise), consequent=tuple(consequent), s_support=s, i_support=i, confidence=c
+    )
+
+
+def test_shorter_rule_with_same_statistics_is_redundant():
+    shorter = _rule(("a",), ("c",))
+    longer = _rule(("a",), ("b", "c"))
+    kept, dropped = filter_redundant([shorter, longer])
+    assert kept == [longer]
+    assert dropped == [shorter]
+
+
+def test_rules_with_different_statistics_are_both_kept():
+    first = _rule(("a",), ("c",), i=9)
+    second = _rule(("a",), ("b", "c"), i=3)
+    kept, dropped = filter_redundant([first, second])
+    assert set(rule.signature() for rule in kept) == {first.signature(), second.signature()}
+    assert dropped == []
+
+
+def test_tie_break_keeps_shorter_premise():
+    long_premise = _rule(("a", "b"), ("c",))
+    short_premise = _rule(("a",), ("b", "c"))
+    kept, dropped = filter_redundant([long_premise, short_premise])
+    assert kept == [short_premise]
+    assert dropped == [long_premise]
+
+
+def test_chain_of_redundancy_keeps_only_the_maximal_rule():
+    small = _rule(("a",), ("d",))
+    middle = _rule(("a",), ("c", "d"))
+    large = _rule(("a",), ("b", "c", "d"))
+    kept, dropped = filter_redundant([small, middle, large])
+    assert kept == [large]
+    assert {rule.signature() for rule in dropped} == {small.signature(), middle.signature()}
+
+
+def test_unrelated_rules_are_kept():
+    first = _rule(("x",), ("y",))
+    second = _rule(("p",), ("q",))
+    kept, dropped = filter_redundant([first, second])
+    assert len(kept) == 2 and not dropped
+
+
+def test_find_redundant_matches_filter():
+    rules = [_rule(("a",), ("c",)), _rule(("a",), ("b", "c")), _rule(("z",), ("w",), i=1)]
+    redundant = find_redundant(rules)
+    _, dropped = filter_redundant(rules)
+    assert {rule.signature() for rule in redundant} == {rule.signature() for rule in dropped}
+
+
+def test_empty_input():
+    kept, dropped = filter_redundant([])
+    assert kept == [] and dropped == []

@@ -1,0 +1,148 @@
+"""Tests for the specification model: charts, rendering, ranking, repository."""
+
+import pytest
+
+from repro.core.errors import DataFormatError
+from repro.jboss.reference import FIGURE4_PATTERN
+from repro.patterns.result import MinedPattern, PatternMiningResult
+from repro.rules.result import RuleMiningResult
+from repro.rules.rule import RecurrentRule
+from repro.specs.chart import chart_from_pattern
+from repro.specs.ranking import pattern_score, rank_patterns, rank_rules, rule_score
+from repro.specs.render import render_chart, render_pattern_blocks, render_rule
+from repro.specs.repository import SpecificationRepository
+
+
+# --------------------------------------------------------------------- #
+# Charts
+# --------------------------------------------------------------------- #
+def test_chart_from_method_call_pattern():
+    chart = chart_from_pattern(("TxManager.begin", "TxManager.commit", "XidFactory.newXid"))
+    assert chart.lifelines == ["TxManager", "XidFactory"]
+    assert [message.method for message in chart.messages] == ["begin", "commit", "newXid"]
+    assert chart.events() == ("TxManager.begin", "TxManager.commit", "XidFactory.newXid")
+    assert len(chart.messages_on("TxManager")) == 2
+
+
+def test_chart_from_plain_events_uses_default_lifeline():
+    chart = chart_from_pattern(("lock", "unlock"), default_lifeline="Mutex")
+    assert chart.lifelines == ["Mutex"]
+    assert chart.events() == ("Mutex.lock", "Mutex.unlock")
+
+
+def test_chart_from_empty_pattern_rejected():
+    with pytest.raises(DataFormatError):
+        chart_from_pattern(())
+
+
+def test_chart_of_figure4_pattern_has_expected_lifelines():
+    chart = chart_from_pattern(FIGURE4_PATTERN, name="fig4")
+    assert set(chart.lifelines) == {
+        "TransactionManagerLocator",
+        "TxManager",
+        "XidFactory",
+        "XidImpl",
+        "TransactionImpl",
+        "LocalId",
+    }
+    assert len(chart) == 32
+
+
+# --------------------------------------------------------------------- #
+# Rendering
+# --------------------------------------------------------------------- #
+def test_render_chart_mentions_lifelines_and_methods():
+    chart = chart_from_pattern(("Lock.acquire", "Lock.release"), name="locking")
+    text = render_chart(chart)
+    assert "locking" in text
+    assert "Lock" in text
+    assert "[acquire]" in text and "[release]" in text
+
+
+def test_render_pattern_blocks():
+    text = render_pattern_blocks(("a", "b", "c", "d"), block_titles=("Setup", "Teardown"), block_size=2)
+    lines = text.splitlines()
+    assert lines[0] == "Setup"
+    assert "  a" in lines and "  d" in lines
+    assert "Teardown" in lines
+
+
+def test_render_rule_shows_premise_and_consequent():
+    rule = RecurrentRule(("a",), ("b", "c"), s_support=3, i_support=4, confidence=0.9)
+    text = render_rule(rule)
+    assert "Premise:" in text and "Consequent:" in text
+    assert "  a" in text and "  c" in text
+    assert "conf=0.90" in text
+
+
+# --------------------------------------------------------------------- #
+# Ranking
+# --------------------------------------------------------------------- #
+def test_pattern_ranking_prefers_long_frequent_patterns():
+    short = MinedPattern(("a",), support=10)
+    long_rare = MinedPattern(("a", "b", "c", "d"), support=3)
+    assert pattern_score(long_rare) > pattern_score(short)
+    result = PatternMiningResult(patterns=[short, long_rare])
+    ranked = rank_patterns(result)
+    assert ranked[0][1] == long_rare
+    assert rank_patterns(result, top=1) == ranked[:1]
+
+
+def test_rule_ranking_prefers_confident_rules():
+    strong = RecurrentRule(("a",), ("b",), s_support=5, i_support=10, confidence=0.95)
+    weak = RecurrentRule(("a",), ("c",), s_support=5, i_support=10, confidence=0.55)
+    assert rule_score(strong) > rule_score(weak)
+    result = RuleMiningResult(rules=[weak, strong])
+    assert rank_rules(result)[0][1] == strong
+
+
+# --------------------------------------------------------------------- #
+# Repository
+# --------------------------------------------------------------------- #
+def test_repository_stores_and_queries_specs():
+    repository = SpecificationRepository("jboss")
+    repository.add_pattern(MinedPattern(("TxManager.begin", "TxManager.commit"), support=7))
+    repository.add_rule(
+        RecurrentRule(("lock",), ("unlock",), s_support=3, i_support=5, confidence=0.9)
+    )
+    assert len(repository) == 2
+    assert repository.patterns_mentioning("TxManager.begin")
+    assert repository.rules_mentioning("unlock")
+    assert not repository.rules_mentioning("missing")
+    assert repository.rules_as_ltl() == ["G((lock -> XF(unlock)))"]
+
+
+def test_repository_bulk_add_from_results():
+    repository = SpecificationRepository()
+    patterns = PatternMiningResult(patterns=[MinedPattern(("a",), support=2)])
+    rules = RuleMiningResult(
+        rules=[RecurrentRule(("a",), ("b",), s_support=2, i_support=2, confidence=1.0)]
+    )
+    assert repository.add_pattern_result(patterns) == 1
+    assert repository.add_rule_result(rules) == 1
+    assert len(repository) == 2
+
+
+def test_repository_save_and_load_round_trip(tmp_path):
+    repository = SpecificationRepository("round-trip")
+    repository.add_pattern(MinedPattern(("a", "b"), support=4))
+    repository.add_rule(
+        RecurrentRule(("a",), ("b", "c"), s_support=2, i_support=3, confidence=0.75)
+    )
+    path = tmp_path / "specs.json"
+    repository.save(path)
+    loaded = SpecificationRepository.load(path)
+    assert loaded.name == "round-trip"
+    assert loaded.patterns[0].events == ("a", "b")
+    assert loaded.rules[0].consequent == ("b", "c")
+    assert loaded.rules[0].confidence == pytest.approx(0.75)
+
+
+def test_repository_load_rejects_malformed_files(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json", encoding="utf-8")
+    with pytest.raises(DataFormatError):
+        SpecificationRepository.load(path)
+    path.write_text('{"something": "else"}', encoding="utf-8")
+    with pytest.raises(DataFormatError):
+        SpecificationRepository.load(path)

@@ -1,0 +1,88 @@
+"""End-to-end tests for the ``repro-mine`` command line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_generate_and_mine_patterns_round_trip(tmp_path, capsys):
+    traces = tmp_path / "synthetic.jsonl"
+    assert main(["generate", "--profile", "D1C10N1S4", "--scale", "0.05", "--output", str(traces)]) == 0
+    output = capsys.readouterr().out
+    assert "wrote 50 sequences" in output
+
+    repo_path = tmp_path / "patterns.json"
+    code = main(
+        [
+            "mine-patterns",
+            "--input",
+            str(traces),
+            "--min-support",
+            "10",
+            "--max-length",
+            "3",
+            "--save",
+            str(repo_path),
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "closed iterative patterns" in output
+    payload = json.loads(repo_path.read_text())
+    assert "patterns" in payload
+
+
+def test_jboss_mine_rules_and_monitor(tmp_path, capsys):
+    traces = tmp_path / "security.txt"
+    assert main(["jboss", "--component", "security", "--output", str(traces)]) == 0
+    capsys.readouterr()
+
+    specs = tmp_path / "rules.json"
+    code = main(
+        [
+            "mine-rules",
+            "--input",
+            str(traces),
+            "--min-s-support",
+            "0.5",
+            "--min-confidence",
+            "0.6",
+            "--max-premise-length",
+            "1",
+            "--max-consequent-length",
+            "2",
+            "--save",
+            str(specs),
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "non-redundant recurrent rules" in output
+    assert json.loads(specs.read_text())["rules"]
+
+    exit_code = main(["monitor", "--input", str(traces), "--specs", str(specs)])
+    output = capsys.readouterr().out
+    assert "monitored temporal points" in output
+    assert exit_code in (0, 1)
+
+
+def test_mine_patterns_full_flag(tmp_path, capsys):
+    traces = tmp_path / "tiny.txt"
+    traces.write_text("lock\nuse\nunlock\n\nlock\nunlock\n", encoding="utf-8")
+    assert main(["mine-patterns", "--input", str(traces), "--min-support", "2", "--full"]) == 0
+    assert "frequent iterative patterns" in capsys.readouterr().out
+
+
+def test_monitor_with_empty_spec_repository(tmp_path, capsys):
+    traces = tmp_path / "tiny.txt"
+    traces.write_text("a\nb\n", encoding="utf-8")
+    specs = tmp_path / "empty.json"
+    specs.write_text(json.dumps({"name": "empty", "patterns": [], "rules": []}), encoding="utf-8")
+    assert main(["monitor", "--input", str(traces), "--specs", str(specs)]) == 2
+
+
+def test_unknown_command_is_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

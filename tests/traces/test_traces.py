@@ -1,0 +1,202 @@
+"""Tests for the trace framework: events, collection, instrumentation, IO, test suites."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, DataFormatError
+from repro.core.sequence import SequenceDatabase
+from repro.traces.event_model import MethodCallEvent, event_label, split_label
+from repro.traces.instrument import instrument
+from repro.traces.io import read_traces, write_traces
+from repro.traces.testsuite import TestCase, TestSuiteRunner
+from repro.traces.trace import Trace, TraceCollector, database_to_traces, traces_to_database
+
+
+# --------------------------------------------------------------------- #
+# Event model
+# --------------------------------------------------------------------- #
+def test_method_call_event_label_and_parse():
+    event = MethodCallEvent("TxManager", "begin")
+    assert event.label == "TxManager.begin"
+    assert str(event) == "TxManager.begin"
+    assert MethodCallEvent.parse("TxManager.begin") == event
+    assert MethodCallEvent.parse("TxManager.begin()") == event
+    assert split_label("A.B.method").class_name == "A.B"
+    assert event_label("Subject", "doAsPrivileged") == "Subject.doAsPrivileged"
+
+
+def test_method_call_event_parse_errors():
+    with pytest.raises(DataFormatError):
+        MethodCallEvent.parse("nodotevent")
+    with pytest.raises(DataFormatError):
+        MethodCallEvent.parse(".method")
+
+
+# --------------------------------------------------------------------- #
+# Traces and collection
+# --------------------------------------------------------------------- #
+def test_trace_append_and_record_call():
+    trace = Trace(name="t")
+    trace.append("a")
+    trace.record_call("Lock", "acquire")
+    assert trace.as_tuple() == ("a", "Lock.acquire")
+    assert len(trace) == 2
+    assert trace[1] == "Lock.acquire"
+
+
+def test_collector_lifecycle_and_database_conversion():
+    collector = TraceCollector()
+    with collector.trace("first"):
+        collector.record("a")
+        collector.record_call("C", "m")
+    with collector.trace("second"):
+        collector.record("b")
+    assert len(collector) == 2
+    db = collector.to_database()
+    assert len(db) == 2
+    assert db[0] == ("a", "C.m")
+    assert db.name(1) == "second"
+
+
+def test_collector_errors_on_misuse():
+    collector = TraceCollector()
+    with pytest.raises(DataFormatError):
+        collector.record("a")  # no active trace
+    collector.start_trace("t")
+    with pytest.raises(DataFormatError):
+        collector.start_trace("nested")
+    collector.end_trace()
+    with pytest.raises(DataFormatError):
+        collector.end_trace()
+
+
+def test_traces_database_round_trip():
+    traces = [Trace(events=["a", "b"], name="x"), Trace(events=["c"], name="y")]
+    db = traces_to_database(traces)
+    rebuilt = database_to_traces(db)
+    assert [trace.events for trace in rebuilt] == [["a", "b"], ["c"]]
+    assert [trace.name for trace in rebuilt] == ["x", "y"]
+
+
+# --------------------------------------------------------------------- #
+# Instrumentation
+# --------------------------------------------------------------------- #
+class _Resource:
+    def __init__(self):
+        self.closed = False
+
+    def read(self, amount):
+        return f"data[{amount}]"
+
+    def close(self):
+        self.closed = True
+        return True
+
+    def _internal(self):
+        return "hidden"
+
+
+def test_instrument_records_public_method_calls():
+    collector = TraceCollector()
+    resource = _Resource()
+    proxy = instrument(resource, collector)
+    with collector.trace("run"):
+        assert proxy.read(4) == "data[4]"
+        proxy.close()
+    assert collector.traces[0].events == ["_Resource.read", "_Resource.close"]
+    assert resource.closed is True
+
+
+def test_instrument_respects_class_name_override_and_exclusions():
+    collector = TraceCollector()
+    proxy = instrument(_Resource(), collector, class_name="Stream", excluded_methods={"close"})
+    with collector.trace("run"):
+        proxy.read(1)
+        proxy.close()
+    assert collector.traces[0].events == ["Stream.read"]
+
+
+def test_instrument_does_not_record_private_methods_or_attributes():
+    collector = TraceCollector()
+    resource = _Resource()
+    proxy = instrument(resource, collector)
+    with collector.trace("run"):
+        assert proxy._internal() == "hidden"
+        assert proxy.closed is False
+    assert collector.traces[0].events == []
+
+
+def test_instrument_setattr_passes_through():
+    collector = TraceCollector()
+    resource = _Resource()
+    proxy = instrument(resource, collector)
+    proxy.closed = True
+    assert resource.closed is True
+
+
+# --------------------------------------------------------------------- #
+# IO
+# --------------------------------------------------------------------- #
+@pytest.fixture
+def io_db():
+    db = SequenceDatabase()
+    db.add(["A.m", "B.n", "A.m"], name="trace-a")
+    db.add(["C.p"], name="trace-b")
+    return db
+
+
+@pytest.mark.parametrize("suffix,format", [(".txt", None), (".jsonl", None), (".csv", None), (".trace", "text")])
+def test_trace_io_round_trip(tmp_path, io_db, suffix, format):
+    path = tmp_path / f"traces{suffix}"
+    write_traces(io_db, path, format=format)
+    loaded = read_traces(path, format=format)
+    assert list(loaded) == list(io_db)
+
+
+def test_text_format_keeps_names(tmp_path, io_db):
+    path = tmp_path / "traces.txt"
+    write_traces(io_db, path)
+    loaded = read_traces(path)
+    assert loaded.name(0) == "trace-a"
+    assert loaded.name(1) == "trace-b"
+
+
+def test_unknown_format_rejected(tmp_path, io_db):
+    with pytest.raises(DataFormatError):
+        write_traces(io_db, tmp_path / "traces.xyz")
+    with pytest.raises(DataFormatError):
+        write_traces(io_db, tmp_path / "traces.txt", format="parquet")
+
+
+def test_malformed_jsonl_rejected(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("not json\n", encoding="utf-8")
+    with pytest.raises(DataFormatError):
+        read_traces(path)
+
+
+def test_malformed_csv_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("wrong,columns\n1,2\n", encoding="utf-8")
+    with pytest.raises(DataFormatError):
+        read_traces(path)
+
+
+# --------------------------------------------------------------------- #
+# Test-suite runner
+# --------------------------------------------------------------------- #
+def test_test_suite_runner_produces_one_trace_per_repetition():
+    runner = TestSuiteRunner()
+    runner.add("ping", lambda collector, i: collector.record(f"ping-{i}"), repetitions=3)
+    runner.add("pong", lambda collector, i: collector.record("pong"))
+    db = runner.run()
+    assert len(db) == 4
+    assert db.name(0) == "ping#0"
+    assert db.name(3) == "pong"
+    assert db[2] == ("ping-2",)
+
+
+def test_test_suite_runner_rejects_empty_suite_and_bad_repetitions():
+    with pytest.raises(ConfigurationError):
+        TestSuiteRunner().run()
+    with pytest.raises(ConfigurationError):
+        TestCase(name="x", run=lambda c, i: None, repetitions=0)

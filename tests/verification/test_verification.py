@@ -1,0 +1,118 @@
+"""Tests for runtime monitoring and coverage analysis."""
+
+import pytest
+
+from repro.core.errors import MonitoringError
+from repro.core.sequence import SequenceDatabase
+from repro.ltl.semantics import holds
+from repro.ltl.translate import rule_to_ltl
+from repro.patterns.result import MinedPattern
+from repro.rules.rule import RecurrentRule
+from repro.verification.coverage import coverage_of, specification_events
+from repro.verification.monitor import RuleMonitor, monitor_database
+
+
+def _rule(premise, consequent):
+    return RecurrentRule(
+        premise=tuple(premise),
+        consequent=tuple(consequent),
+        s_support=1,
+        i_support=1,
+        confidence=1.0,
+    )
+
+
+def test_monitor_requires_rules():
+    with pytest.raises(MonitoringError):
+        RuleMonitor([])
+
+
+def test_monitor_detects_satisfaction_and_violation():
+    monitor = RuleMonitor([_rule(["lock"], ["unlock"])])
+    good = ["lock", "use", "unlock", "lock", "unlock"]
+    bad = ["lock", "use", "unlock", "lock"]
+    assert monitor.satisfies(good)
+    assert not monitor.satisfies(bad)
+    report = monitor.check_trace(bad, trace_index=3, trace_name="t3")
+    assert report.total_points == 2
+    assert report.satisfied_points == 1
+    assert report.violation_count == 1
+    violation = report.violations[0]
+    assert violation.trace_index == 3
+    assert violation.position == 3
+    assert "t3" in violation.describe()
+
+
+def test_monitor_multi_event_rule():
+    monitor = RuleMonitor([_rule(["init", "start"], ["stop", "cleanup"])])
+    assert monitor.satisfies(["init", "start", "work", "stop", "cleanup"])
+    assert not monitor.satisfies(["init", "start", "stop"])
+    assert monitor.satisfies(["init", "boot"])  # premise never completes
+
+
+def test_monitor_agrees_with_ltl_semantics():
+    rule = _rule(["a", "b"], ["c"])
+    formula = rule_to_ltl(rule.premise, rule.consequent)
+    monitor = RuleMonitor([rule])
+    traces = [
+        ["a", "b", "c"],
+        ["a", "b"],
+        ["b", "c"],
+        ["a", "x", "b", "y", "c", "a", "b"],
+    ]
+    for trace in traces:
+        assert monitor.satisfies(trace) == holds(formula, trace)
+
+
+def test_monitor_database_aggregates_and_reports_per_rule_points():
+    db = SequenceDatabase.from_sequences(
+        [["lock", "unlock"], ["lock", "work"], ["idle"]]
+    )
+    report = monitor_database(db, [_rule(["lock"], ["unlock"])])
+    assert report.total_points == 2
+    assert report.satisfied_points == 1
+    assert report.violation_count == 1
+    assert report.satisfaction_rate == pytest.approx(0.5)
+    assert report.per_rule_points[(("lock",), ("unlock",))] == 2
+    assert report.violated_rules() == [_rule(["lock"], ["unlock"])]
+    assert "violations" in report.summary()
+
+
+def test_report_with_no_points_has_full_satisfaction():
+    db = SequenceDatabase.from_sequences([["idle"]])
+    report = monitor_database(db, [_rule(["lock"], ["unlock"])])
+    assert report.total_points == 0
+    assert report.satisfaction_rate == 1.0
+
+
+def test_specification_events_union():
+    events = specification_events(
+        [MinedPattern(("a", "b"), support=1)], [_rule(["c"], ["d"])]
+    )
+    assert events == {"a", "b", "c", "d"}
+
+
+def test_coverage_of_patterns():
+    db = SequenceDatabase.from_sequences([["a", "x", "b", "z"], ["q", "r"]])
+    report = coverage_of(db, patterns=[MinedPattern(("a", "b"), support=1)])
+    assert report.total_events == 6
+    # The instance <a, x, b> covers 3 of the 6 positions.
+    assert report.covered_positions == 3
+    assert report.position_coverage == pytest.approx(0.5)
+    assert report.per_trace_coverage == [pytest.approx(0.75), 0.0]
+    # Vocabulary: a and b are mentioned, out of 6 distinct observed events.
+    assert report.vocabulary_coverage == pytest.approx(2 / 6)
+
+
+def test_coverage_with_rules_counts_vocabulary_only():
+    db = SequenceDatabase.from_sequences([["a", "b"]])
+    report = coverage_of(db, rules=[_rule(["a"], ["b"])])
+    assert report.covered_positions == 0
+    assert report.vocabulary_coverage == pytest.approx(1.0)
+
+
+def test_coverage_of_empty_database():
+    report = coverage_of(SequenceDatabase())
+    assert report.position_coverage == 0.0
+    assert report.vocabulary_coverage == 0.0
+    assert report.summary()["total_events"] == 0.0
