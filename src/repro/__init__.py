@@ -36,6 +36,12 @@ from .core.errors import (
     VocabularyError,
 )
 from .datagen import QuestConfig, QuestGenerator, generate_profile
+from .engine import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    resolve_backend,
+)
 from .ltl import holds, ltl_to_rule, parse_ltl, rule_to_ltl
 from .patterns import (
     ClosedIterativePatternMiner,
@@ -78,6 +84,10 @@ __all__ = [
     "QuestConfig",
     "QuestGenerator",
     "generate_profile",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "resolve_backend",
     "holds",
     "ltl_to_rule",
     "parse_ltl",

@@ -20,7 +20,9 @@ import sys
 from typing import List, Optional
 
 from .analysis.reporting import format_table
+from .core.errors import ConfigurationError
 from .datagen.profiles import PAPER_PROFILE, generate_profile
+from .engine import BACKEND_CHOICES, ExecutionBackend, resolve_backend
 from .jboss.workloads import (
     generate_case_study_traces,
     generate_security_traces,
@@ -69,6 +71,7 @@ def _build_parser() -> argparse.ArgumentParser:
     patterns.add_argument("--full", action="store_true", help="mine all frequent patterns")
     patterns.add_argument("--top", type=int, default=20, help="how many patterns to print")
     patterns.add_argument("--save", default=None, help="save results to a JSON repository")
+    _add_engine_arguments(patterns)
 
     rules = subparsers.add_parser("mine-rules", help="mine recurrent rules")
     rules.add_argument("--input", required=True, help="input trace file")
@@ -81,6 +84,7 @@ def _build_parser() -> argparse.ArgumentParser:
     rules.add_argument("--full", action="store_true", help="mine the full (redundant) rule set")
     rules.add_argument("--top", type=int, default=20, help="how many rules to print")
     rules.add_argument("--save", default=None, help="save results to a JSON repository")
+    _add_engine_arguments(rules)
 
     monitor = subparsers.add_parser("monitor", help="check rules against traces")
     monitor.add_argument("--input", required=True, help="input trace file")
@@ -89,6 +93,41 @@ def _build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--max-violations", type=int, default=10, help="violations to print")
 
     return parser
+
+
+def _positive_int(value: str) -> int:
+    try:
+        workers = int(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from error
+    if workers < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value!r}")
+    return workers
+
+
+def _add_engine_arguments(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="worker processes for the parallel engine (unset: serial with "
+        "'auto', all CPU cores with '--backend process')",
+    )
+    subparser.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default="auto",
+        help="execution backend; 'auto' goes parallel when --workers > 1",
+    )
+
+
+def _resolve_backend_or_none(args: argparse.Namespace) -> Optional[ExecutionBackend]:
+    """Resolve --backend/--workers, printing a CLI error on contradiction."""
+    try:
+        return resolve_backend(args.backend, args.workers)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None
 
 
 def _command_generate(args: argparse.Namespace) -> int:
@@ -119,12 +158,16 @@ def _command_mine_patterns(args: argparse.Namespace) -> int:
         collect_instances=False,
         adjacent_absorption_pruning=not args.full,
     )
+    backend = _resolve_backend_or_none(args)
+    if backend is None:
+        return 2
     miner = FullIterativePatternMiner(config) if args.full else ClosedIterativePatternMiner(config)
-    result = miner.mine(database)
+    result = miner.mine(database, backend=backend)
     kind = "frequent" if args.full else "closed"
     print(
         f"mined {len(result)} {kind} iterative patterns "
-        f"(min_sup={result.min_support}, {result.stats.elapsed_seconds:.2f}s)"
+        f"(min_sup={result.min_support}, backend={backend.describe()}, "
+        f"{result.stats.elapsed_seconds:.2f}s)"
     )
     print(format_table(result.as_rows()[: args.top], columns=["support", "length", "events"]))
     if args.save:
@@ -144,13 +187,16 @@ def _command_mine_rules(args: argparse.Namespace) -> int:
         max_premise_length=args.max_premise_length,
         max_consequent_length=args.max_consequent_length,
     )
+    backend = _resolve_backend_or_none(args)
+    if backend is None:
+        return 2
     miner = FullRecurrentRuleMiner(config) if args.full else NonRedundantRecurrentRuleMiner(config)
-    result = miner.mine(database)
+    result = miner.mine(database, backend=backend)
     kind = "significant" if args.full else "non-redundant"
     print(
         f"mined {len(result)} {kind} recurrent rules "
         f"(min_s_sup={result.min_s_support}, min_conf={result.min_confidence}, "
-        f"{result.stats.elapsed_seconds:.2f}s)"
+        f"backend={backend.describe()}, {result.stats.elapsed_seconds:.2f}s)"
     )
     print(
         format_table(

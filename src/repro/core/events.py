@@ -21,6 +21,10 @@ from .errors import VocabularyError
 EventLabel = Hashable
 EventId = int
 
+#: The encoded (integer-id) view of a sequence database — the single
+#: contract shared by the miners, the projection machinery and the engine.
+EncodedDatabase = TypingSequence[TypingSequence[EventId]]
+
 
 class EventVocabulary:
     """A bijective mapping between event labels and dense integer ids.

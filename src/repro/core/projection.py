@@ -27,11 +27,9 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Sequence as TypingSequence, Set, Tuple
 
-from .events import EventId
+from .events import EncodedDatabase, EventId
 from .instances import PatternInstance
 from .positions import PositionIndex, SequencePositions
-
-EncodedDatabase = TypingSequence[TypingSequence[EventId]]
 
 
 def singleton_instances(encoded_db: EncodedDatabase) -> Dict[EventId, List[PatternInstance]]:

@@ -20,6 +20,27 @@ from .errors import DataFormatError
 from .events import EventId, EventLabel, EventVocabulary
 
 
+def absolute_support(relative_or_absolute: float, num_sequences: int) -> int:
+    """Convert a support threshold to an absolute count.
+
+    The paper reports thresholds "relative to the number of sequences in
+    the database".  Values in ``(0, 1]`` are interpreted as fractions of
+    ``num_sequences``; values above 1 are rounded and used as absolute
+    counts.  The result is always at least 1.
+
+    This is a module-level function (shared with
+    :meth:`SequenceDatabase.absolute_support`) so the parallel engine's
+    workers can resolve thresholds from the encoded database alone.
+    """
+    if relative_or_absolute <= 0:
+        raise DataFormatError(
+            f"support threshold must be positive, got {relative_or_absolute!r}"
+        )
+    if relative_or_absolute <= 1:
+        return max(1, int(round(relative_or_absolute * num_sequences)))
+    return max(1, int(round(relative_or_absolute)))
+
+
 class Sequence:
     """A single sequence of events with optional identifying metadata.
 
@@ -168,15 +189,7 @@ class SequenceDatabase:
     def absolute_support(self, relative_or_absolute: float) -> int:
         """Convert a support threshold to an absolute count.
 
-        The paper reports thresholds "relative to the number of sequences in
-        the database".  Values in ``(0, 1]`` are interpreted as fractions of
-        the number of sequences; values above 1 are rounded and used as
-        absolute counts.  The result is always at least 1.
+        See the module-level :func:`absolute_support` for the convention;
+        relative values are resolved against the number of sequences.
         """
-        if relative_or_absolute <= 0:
-            raise DataFormatError(
-                f"support threshold must be positive, got {relative_or_absolute!r}"
-            )
-        if relative_or_absolute <= 1:
-            return max(1, int(round(relative_or_absolute * len(self._encoded))))
-        return max(1, int(round(relative_or_absolute)))
+        return absolute_support(relative_or_absolute, len(self._encoded))

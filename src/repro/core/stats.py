@@ -11,7 +11,7 @@ the ablation benchmarks use the pruning counters directly.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 
@@ -42,6 +42,25 @@ class MiningStats:
     def bump(self, name: str, amount: int = 1) -> None:
         """Increment an ad-hoc named counter stored in :attr:`extra`."""
         self.extra[name] = self.extra.get(name, 0) + amount
+
+    #: fields that are timing state, not mergeable search counters
+    _NON_COUNTER_FIELDS = frozenset({"extra", "_started_at", "elapsed_seconds"})
+
+    def merge_counters(self, other: "MiningStats") -> None:
+        """Fold another run's search counters into this one.
+
+        Used by the parallel engine to combine per-shard statistics.  The
+        counter set is derived from the dataclass fields so future counters
+        merge automatically; wall-clock time is excluded because it is
+        owned by whoever timed the whole run (summing per-worker clocks
+        would double-count overlapping work).
+        """
+        for spec in fields(self):
+            if spec.name in self._NON_COUNTER_FIELDS:
+                continue
+            setattr(self, spec.name, getattr(self, spec.name) + getattr(other, spec.name))
+        for name, amount in other.extra.items():
+            self.bump(name, amount)
 
     def as_dict(self) -> Dict[str, float]:
         """A flat dictionary view used by reports and benchmarks."""

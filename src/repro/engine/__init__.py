@@ -1,0 +1,53 @@
+"""Parallel sharded mining engine.
+
+The engine splits a miner's depth-first search over its independent
+first-level roots (singleton patterns, single-event premises), runs the
+shards on a pluggable :class:`ExecutionBackend`, and merges the per-shard
+outputs deterministically so that parallel results are bit-identical to
+the serial ones.  See :mod:`repro.engine.sharding` for the ordering
+argument and :mod:`repro.engine.runner` for the miner protocol.
+
+Typical use::
+
+    from repro import SequenceDatabase, mine_closed_patterns
+    from repro.engine import ProcessPoolBackend
+
+    result = mine_closed_patterns(db, min_support=3,
+                                  backend=ProcessPoolBackend(workers=4))
+"""
+
+from .backend import (
+    BACKEND_CHOICES,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    resolve_backend,
+    run_sharded,
+)
+from .runner import LazyIndexContext, ShardRunner, plan_weighted_roots
+from .sharding import (
+    PlanResult,
+    RootResult,
+    Shard,
+    ShardOutcome,
+    merge_outcomes,
+    plan_shards,
+)
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "resolve_backend",
+    "run_sharded",
+    "LazyIndexContext",
+    "ShardRunner",
+    "plan_weighted_roots",
+    "PlanResult",
+    "RootResult",
+    "Shard",
+    "ShardOutcome",
+    "merge_outcomes",
+    "plan_shards",
+]

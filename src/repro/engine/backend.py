@@ -1,0 +1,189 @@
+"""Execution backends: where and how shards of mining work actually run.
+
+The miners hand a :class:`~repro.engine.runner.ShardRunner` and a list of
+shards to a backend and get per-shard outcomes back, in shard order.  Two
+backends ship:
+
+* :class:`SerialBackend` — run every shard in the current process.  This is
+  the default and the reference semantics; with ``max_shards=1`` (the
+  default) it is exactly the historical single-pass depth-first search.
+* :class:`ProcessPoolBackend` — fan shards out to a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  The runner is shipped
+  to each worker once through the pool initializer; workers rebuild their
+  ``PositionIndex`` cache once and reuse it across all their shards.
+
+Because the merge step reorders results by root id (see
+:func:`~repro.engine.sharding.merge_outcomes`), both backends produce
+bit-identical mining results — parallelism only changes wall-clock time.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, List, Optional, Sequence as TypingSequence, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.stats import MiningStats
+from .runner import ShardRunner
+from .sharding import Shard, ShardOutcome, merge_outcomes, plan_shards
+
+#: Shards created per worker so stragglers can be rebalanced by the pool.
+OVERSUBSCRIPTION = 4
+
+# Per-worker-process runner installed by the pool initializer.  Module-level
+# state is required here: only module-level functions pickle cleanly as pool
+# initializers/tasks, and the whole point is to ship the runner once per
+# worker instead of once per shard.
+_WORKER_RUNNER: Optional[ShardRunner] = None
+
+
+def _initialize_worker(runner: ShardRunner) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = runner
+    runner.setup()
+
+
+def _execute_shard(shard: Shard) -> ShardOutcome:
+    assert _WORKER_RUNNER is not None, "worker used before initialization"
+    return _WORKER_RUNNER.run_shard(shard)
+
+
+class ExecutionBackend:
+    """Strategy interface for running planned shards."""
+
+    name = "abstract"
+
+    def shard_count(self, num_roots: int) -> int:
+        """How many shards to split ``num_roots`` roots into."""
+        raise NotImplementedError
+
+    def map_shards(
+        self, runner: ShardRunner, shards: TypingSequence[Shard]
+    ) -> List[ShardOutcome]:
+        """Execute every shard and return outcomes in shard order."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short human-readable form used by the CLI and benchmarks."""
+        return self.name
+
+
+class SerialBackend(ExecutionBackend):
+    """Run shards in-process, in order.
+
+    ``max_shards`` exists for testing the shard/merge path without
+    processes: the default of 1 keeps the classic single-pass search, while
+    larger values force the work through the same planning and merging
+    machinery the parallel backend uses.
+    """
+
+    name = "serial"
+
+    def __init__(self, max_shards: int = 1) -> None:
+        if max_shards < 1:
+            raise ConfigurationError(f"max_shards must be >= 1, got {max_shards!r}")
+        self.max_shards = max_shards
+
+    def shard_count(self, num_roots: int) -> int:
+        return max(1, min(self.max_shards, num_roots))
+
+    def map_shards(
+        self, runner: ShardRunner, shards: TypingSequence[Shard]
+    ) -> List[ShardOutcome]:
+        runner.setup()
+        return [runner.run_shard(shard) for shard in shards]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan shards out to a pool of worker processes."""
+
+    name = "process"
+
+    def __init__(
+        self, workers: Optional[int] = None, oversubscription: int = OVERSUBSCRIPTION
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers!r}")
+        if oversubscription < 1:
+            raise ConfigurationError(
+                f"oversubscription must be >= 1, got {oversubscription!r}"
+            )
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.oversubscription = oversubscription
+
+    def shard_count(self, num_roots: int) -> int:
+        return max(1, min(num_roots, self.workers * self.oversubscription))
+
+    def map_shards(
+        self, runner: ShardRunner, shards: TypingSequence[Shard]
+    ) -> List[ShardOutcome]:
+        if self.workers <= 1 or len(shards) <= 1:
+            # Nothing to parallelise; avoid pool start-up entirely.
+            return SerialBackend(max_shards=len(shards) or 1).map_shards(runner, shards)
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(shards)),
+            initializer=_initialize_worker,
+            initargs=(runner,),
+        ) as pool:
+            return list(pool.map(_execute_shard, shards))
+
+    def describe(self) -> str:
+        if self.workers <= 1:
+            return f"{self.name}[workers={self.workers}] (serial fallback)"
+        return f"{self.name}[workers={self.workers}]"
+
+
+def resolve_backend(
+    name: Optional[str] = None, workers: Optional[int] = None
+) -> ExecutionBackend:
+    """Build a backend from CLI-style ``--backend`` / ``--workers`` values.
+
+    ``name=None`` (or ``"auto"``) picks the process pool whenever more than
+    one worker is requested and the serial backend otherwise, so plain
+    ``--workers 4`` is enough to go parallel.  Asking for the serial
+    backend *and* multiple workers is contradictory and rejected rather
+    than silently ignoring the worker count.
+    """
+    if name is None or name == "auto":
+        if workers is not None and workers > 1:
+            return ProcessPoolBackend(workers=workers)
+        return SerialBackend()
+    if name == "serial":
+        if workers is not None and workers > 1:
+            raise ConfigurationError(
+                f"the serial backend runs one process; drop --workers {workers} "
+                "or use the 'process' backend"
+            )
+        return SerialBackend()
+    if name == "process":
+        return ProcessPoolBackend(workers=workers)
+    raise ConfigurationError(
+        f"unknown execution backend {name!r} (expected 'serial', 'process' or 'auto')"
+    )
+
+
+def run_sharded(
+    backend: ExecutionBackend,
+    runner: ShardRunner,
+) -> Tuple[List[Any], MiningStats]:
+    """Plan, execute and merge a root-parallel search on ``backend``.
+
+    Returns the mined records in canonical serial order together with the
+    summed search counters (including root-level support pruning from the
+    planning step).
+    """
+    plan = runner.plan()
+    if not plan.roots:
+        stats = MiningStats()
+        stats.pruned_support += plan.pruned_support
+        return [], stats
+    shards = plan_shards(plan.roots, backend.shard_count(len(plan.roots)))
+    outcomes = backend.map_shards(runner, shards)
+    records, stats = merge_outcomes(outcomes)
+    stats.pruned_support += plan.pruned_support
+    return records, stats
+
+
+#: Backend names accepted by :func:`resolve_backend` (CLI choices).
+BACKEND_CHOICES = ("auto", "serial", "process")

@@ -1,0 +1,128 @@
+"""The shard runner: the picklable bridge between miners and backends.
+
+A :class:`ShardRunner` wraps a miner and an encoded database and knows how
+to (a) plan the root-level work, (b) build the expensive per-run search
+context — the :class:`~repro.core.positions.PositionIndex` and the root
+projections — exactly once per process, and (c) mine one shard of roots.
+
+Miners plug in through a three-method protocol (duck-typed, no imports
+from the miner packages so the engine stays dependency-free):
+
+``build_context(encoded, extras)``
+    Build the immutable per-run search context (index, root projections,
+    resolved thresholds).  Called once in the coordinating process for
+    planning, and once per worker process for mining.
+``plan_roots(context)``
+    Return a :class:`~repro.engine.sharding.PlanResult` of frequent roots.
+``mine_root(context, root, stats)``
+    Mine one root's subtree and return its records in depth-first order.
+
+The runner is pickled into each worker exactly once (via the pool
+initializer); the context is *never* pickled — ``__getstate__`` drops it so
+every worker rebuilds its ``PositionIndex`` cache locally once and reuses
+it for all the shards it executes, instead of rebuilding per subtree or
+shipping bulky indexes over the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..core.events import EncodedDatabase, EventId
+from ..core.positions import PositionIndex
+from ..core.stats import MiningStats
+from .sharding import PlanResult, RootResult, Shard, ShardOutcome
+
+
+def plan_weighted_roots(
+    root_weights: Mapping[EventId, int], threshold: int
+) -> PlanResult:
+    """Shared planning step: keep roots meeting ``threshold``, count the rest.
+
+    Both miner families plan identically — iterate the roots in sorted
+    order, prune those whose weight (instance or sequence count) is below
+    the support threshold, and weight the survivors for shard packing.
+    """
+    roots: List[Tuple[EventId, int]] = []
+    pruned = 0
+    for event in sorted(root_weights):
+        weight = root_weights[event]
+        if weight < threshold:
+            pruned += 1
+            continue
+        roots.append((event, weight))
+    return PlanResult(tuple(roots), pruned)
+
+
+class LazyIndexContext:
+    """Base class for per-run search contexts: encoded db + lazy index.
+
+    The :class:`PositionIndex` is materialised on first use: the
+    coordinating process only plans, so only the processes that actually
+    mine pay for index construction — and each pays exactly once, reusing
+    it across all the shards it executes.
+    """
+
+    __slots__ = ("encoded", "_index")
+
+    def __init__(self, encoded: EncodedDatabase) -> None:
+        self.encoded = encoded
+        self._index: Optional[PositionIndex] = None
+
+    @property
+    def index(self) -> PositionIndex:
+        if self._index is None:
+            self._index = PositionIndex(self.encoded)
+        return self._index
+
+
+class ShardRunner:
+    """Execute shards of a miner's root-parallel search."""
+
+    def __init__(
+        self,
+        miner: Any,
+        encoded: EncodedDatabase,
+        extras: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.miner = miner
+        self.encoded = encoded
+        self.extras: Dict[str, Any] = dict(extras or {})
+        self._context: Any = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def plan(self) -> PlanResult:
+        """Plan the root-level work (coordinating process only)."""
+        return self.miner.plan_roots(self._ensure_context())
+
+    def setup(self) -> None:
+        """Build (or reuse) the per-process search context."""
+        self._ensure_context()
+
+    def run_shard(self, shard: Shard) -> ShardOutcome:
+        """Mine every root of ``shard`` and package the outcome."""
+        context = self._ensure_context()
+        stats = MiningStats()
+        root_results: List[RootResult] = []
+        for root in shard.roots:
+            records = tuple(self.miner.mine_root(context, root, stats))
+            root_results.append(RootResult(root, records))
+        return ShardOutcome(shard.index, tuple(root_results), stats)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _ensure_context(self) -> Any:
+        if self._context is None:
+            self._context = self.miner.build_context(self.encoded, self.extras)
+        return self._context
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # The context holds the PositionIndex and projection caches; it is
+        # cheap to rebuild locally and expensive to pickle, so workers
+        # always reconstruct it (once) in setup().
+        state = self.__dict__.copy()
+        state["_context"] = None
+        return state

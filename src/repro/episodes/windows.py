@@ -19,7 +19,7 @@ tests and the ablation benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence as TypingSequence, Tuple
+from typing import List, Optional, Sequence as TypingSequence, Tuple
 
 from ..core.errors import ConfigurationError
 from ..core.events import EventLabel

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from ..core.errors import ConfigurationError
 from ..core.sequence import SequenceDatabase

@@ -10,12 +10,13 @@ the paper's Figure 1(b).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.events import EventId
 from ..core.instances import PatternInstance
 from ..core.positions import PositionIndex
 from ..core.sequence import SequenceDatabase
+from ..engine import ExecutionBackend
 from .closure import is_closed
 from .config import IterativeMiningConfig
 from .miner_base import IterativePatternMinerBase
@@ -46,7 +47,6 @@ class ClosedIterativePatternMiner(IterativePatternMinerBase):
         pattern: Tuple[EventId, ...],
         instances: List[PatternInstance],
         extensions: Dict[EventId, List[PatternInstance]],
-        result: PatternMiningResult,
     ) -> bool:
         max_length = self.config.max_pattern_length
         if max_length is not None and len(pattern) >= max_length:
@@ -65,12 +65,16 @@ class ClosedIterativePatternMiner(IterativePatternMinerBase):
 
 
 def mine_closed_patterns(
-    database: SequenceDatabase, min_support: float = 2.0, **kwargs: object
+    database: SequenceDatabase,
+    min_support: float = 2.0,
+    backend: Optional[ExecutionBackend] = None,
+    **kwargs: object,
 ) -> PatternMiningResult:
     """Convenience wrapper: mine the closed set of frequent iterative patterns.
 
-    Additional keyword arguments are forwarded to
+    ``backend`` selects the execution backend (serial by default); the
+    remaining keyword arguments are forwarded to
     :class:`~repro.patterns.config.IterativeMiningConfig`.
     """
     config = IterativeMiningConfig(min_support=min_support, **kwargs)  # type: ignore[arg-type]
-    return ClosedIterativePatternMiner(config).mine(database)
+    return ClosedIterativePatternMiner(config).mine(database, backend=backend)

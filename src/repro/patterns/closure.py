@@ -23,7 +23,7 @@ semantics.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence as TypingSequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence as TypingSequence, Tuple
 
 from ..core.events import EventId
 from ..core.instances import (

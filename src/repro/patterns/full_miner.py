@@ -7,12 +7,13 @@ number of mined patterns blow up relative to the closed miner.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.events import EventId
 from ..core.instances import PatternInstance
 from ..core.positions import PositionIndex
 from ..core.sequence import SequenceDatabase
+from ..engine import ExecutionBackend
 from .config import IterativeMiningConfig
 from .miner_base import IterativePatternMinerBase
 from .result import PatternMiningResult
@@ -42,18 +43,21 @@ class FullIterativePatternMiner(IterativePatternMinerBase):
         pattern: Tuple[EventId, ...],
         instances: List[PatternInstance],
         extensions: Dict[EventId, List[PatternInstance]],
-        result: PatternMiningResult,
     ) -> bool:
         return True
 
 
 def mine_frequent_patterns(
-    database: SequenceDatabase, min_support: float = 2.0, **kwargs: object
+    database: SequenceDatabase,
+    min_support: float = 2.0,
+    backend: Optional[ExecutionBackend] = None,
+    **kwargs: object,
 ) -> PatternMiningResult:
     """Convenience wrapper: mine all frequent iterative patterns.
 
-    Additional keyword arguments are forwarded to
+    ``backend`` selects the execution backend (serial by default); the
+    remaining keyword arguments are forwarded to
     :class:`~repro.patterns.config.IterativeMiningConfig`.
     """
     config = IterativeMiningConfig(min_support=min_support, **kwargs)  # type: ignore[arg-type]
-    return FullIterativePatternMiner(config).mine(database)
+    return FullIterativePatternMiner(config).mine(database, backend=backend)

@@ -12,7 +12,7 @@ and maximal consequents, which is exactly how
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence as TypingSequence, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from ..core.events import EventLabel
 from ..core.instances import find_instances

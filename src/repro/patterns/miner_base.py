@@ -6,20 +6,68 @@ property — which holds because truncating every instance of ``P`` to its
 first ``k`` events yields distinct instances of ``P``'s length-``k`` prefix).
 Each frequent pattern is therefore reached exactly once, along the chain of
 its own prefixes.
+
+The search is *root-parallel*: the subtree below each frequent singleton is
+independent of every other subtree, so the miners implement the engine's
+miner protocol (``build_context`` / ``plan_roots`` / ``mine_root``) and let
+an :class:`~repro.engine.backend.ExecutionBackend` decide whether the roots
+run serially in-process (the default) or fan out to a worker pool.  Either
+way the merged output is bit-identical.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from collections import Counter
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
 
-from ..core.events import EventId
+from ..core.events import EncodedDatabase, EventId
 from ..core.instances import PatternInstance
 from ..core.positions import PositionIndex
 from ..core.projection import forward_extensions, singleton_instances
-from ..core.sequence import SequenceDatabase
+from ..core.sequence import SequenceDatabase, absolute_support
 from ..core.stats import MiningStats
+from ..engine import (
+    ExecutionBackend,
+    LazyIndexContext,
+    PlanResult,
+    SerialBackend,
+    ShardRunner,
+    plan_weighted_roots,
+    run_sharded,
+)
 from .config import IterativeMiningConfig
 from .result import MinedPattern, PatternMiningResult
+
+
+class PatternRecord(NamedTuple):
+    """An emitted pattern in encoded (event-id) form, as produced by workers."""
+
+    pattern: Tuple[EventId, ...]
+    support: int
+    instances: Tuple[PatternInstance, ...]
+
+
+class PatternSearchContext(LazyIndexContext):
+    """Per-run search state, built once per process by the engine.
+
+    The index and the singleton instance lists are materialised lazily:
+    the coordinating process only plans (a counts-only pass), so only the
+    processes that actually mine pay for them — each exactly once,
+    reused across all the shards that process executes.
+    """
+
+    __slots__ = ("min_support", "_singletons")
+
+    def __init__(self, encoded: EncodedDatabase, min_support: int) -> None:
+        super().__init__(encoded)
+        self.min_support = min_support
+        self._singletons: Optional[Dict[EventId, List[PatternInstance]]] = None
+
+    @property
+    def singletons(self) -> Dict[EventId, List[PatternInstance]]:
+        if self._singletons is None:
+            self._singletons = singleton_instances(self.encoded)
+        return self._singletons
 
 
 class IterativePatternMinerBase:
@@ -27,53 +75,89 @@ class IterativePatternMinerBase:
 
     closed_only = False
 
-    def __init__(self, config: IterativeMiningConfig) -> None:
+    def __init__(
+        self, config: IterativeMiningConfig, backend: Optional[ExecutionBackend] = None
+    ) -> None:
         self.config = config
+        self.backend = backend
 
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
-    def mine(self, database: SequenceDatabase) -> PatternMiningResult:
-        """Mine the database and return all emitted patterns."""
+    def mine(
+        self, database: SequenceDatabase, backend: Optional[ExecutionBackend] = None
+    ) -> PatternMiningResult:
+        """Mine the database and return all emitted patterns.
+
+        ``backend`` (or the instance-level backend passed to the
+        constructor) selects where the search runs; the result does not
+        depend on the choice.
+        """
         stats = MiningStats()
         stats.start()
         result = PatternMiningResult(stats=stats, closed_only=self.closed_only)
         result.min_support = database.absolute_support(self.config.min_support)
 
-        encoded = database.encoded
-        index = PositionIndex(encoded)
-        self._prepare(encoded, index, result)
+        chosen = backend or self.backend or SerialBackend()
+        runner = ShardRunner(self, database.encoded)
+        records, search_stats = run_sharded(chosen, runner)
+        stats.merge_counters(search_stats)
 
-        singletons = singleton_instances(encoded)
-        for event in sorted(singletons):
-            instances = singletons[event]
-            if len(instances) < result.min_support:
-                stats.pruned_support += 1
-                continue
-            self._grow(database, encoded, index, (event,), instances, result)
+        vocabulary = database.vocabulary
+        for record in records:
+            result.patterns.append(
+                MinedPattern(
+                    events=vocabulary.decode(record.pattern),
+                    support=record.support,
+                    instances=record.instances,
+                )
+            )
 
         stats.stop()
         return result
 
     # ------------------------------------------------------------------ #
+    # Engine miner protocol
+    # ------------------------------------------------------------------ #
+    def build_context(
+        self, encoded: EncodedDatabase, extras: Dict[str, Any]
+    ) -> PatternSearchContext:
+        """Build the per-process search context (lazy index + singleton cache)."""
+        return PatternSearchContext(
+            encoded=encoded,
+            min_support=absolute_support(self.config.min_support, len(encoded)),
+        )
+
+    def plan_roots(self, context: PatternSearchContext) -> PlanResult:
+        """Frequent singletons, weighted by instance count for shard packing.
+
+        A counts-only database pass: occurrence counts equal singleton
+        instance counts, so the coordinator never materialises the
+        per-event instance lists the workers will build for themselves.
+        """
+        counts: Counter = Counter()
+        for sequence in context.encoded:
+            counts.update(sequence)
+        return plan_weighted_roots(counts, context.min_support)
+
+    def mine_root(
+        self, context: PatternSearchContext, root: EventId, stats: MiningStats
+    ) -> List[PatternRecord]:
+        """Mine the subtree rooted at the singleton ``<root>``."""
+        records: List[PatternRecord] = []
+        self._grow(context, (root,), context.singletons[root], records, stats)
+        return records
+
+    # ------------------------------------------------------------------ #
     # Hooks
     # ------------------------------------------------------------------ #
-    def _prepare(
-        self,
-        encoded: List[Tuple[EventId, ...]],
-        index: PositionIndex,
-        result: PatternMiningResult,
-    ) -> None:
-        """Hook called once before the search starts."""
-
     def _should_emit(
         self,
-        encoded: List[Tuple[EventId, ...]],
+        encoded: EncodedDatabase,
         index: PositionIndex,
         pattern: Tuple[EventId, ...],
         instances: List[PatternInstance],
         extensions: Dict[EventId, List[PatternInstance]],
-        result: PatternMiningResult,
     ) -> bool:
         """Decide whether the current frequent pattern is part of the output."""
         raise NotImplementedError
@@ -83,20 +167,22 @@ class IterativePatternMinerBase:
     # ------------------------------------------------------------------ #
     def _grow(
         self,
-        database: SequenceDatabase,
-        encoded: List[Tuple[EventId, ...]],
-        index: PositionIndex,
+        context: PatternSearchContext,
         pattern: Tuple[EventId, ...],
         instances: List[PatternInstance],
-        result: PatternMiningResult,
+        records: List[PatternRecord],
+        stats: MiningStats,
     ) -> None:
-        stats = result.stats
+        encoded = context.encoded
+        index = context.index
         stats.visited += 1
 
         extensions = forward_extensions(encoded, index, pattern, instances)
 
-        if self._should_emit(encoded, index, pattern, instances, extensions, result):
-            self._emit(database, pattern, instances, result)
+        if self._should_emit(encoded, index, pattern, instances, extensions):
+            stats.emitted += 1
+            kept = tuple(instances) if self.config.collect_instances else ()
+            records.append(PatternRecord(pattern, len(instances), kept))
         else:
             stats.pruned_closure += 1
 
@@ -119,21 +205,14 @@ class IterativePatternMinerBase:
 
         for event in explore:
             extension_instances = extensions[event]
-            if len(extension_instances) < result.min_support:
+            if len(extension_instances) < context.min_support:
                 stats.pruned_support += 1
                 continue
-            self._grow(
-                database,
-                encoded,
-                index,
-                pattern + (event,),
-                extension_instances,
-                result,
-            )
+            self._grow(context, pattern + (event,), extension_instances, records, stats)
 
     @staticmethod
     def _adjacent_absorbing_event(
-        encoded: List[Tuple[EventId, ...]], instances: List[PatternInstance]
+        encoded: EncodedDatabase, instances: List[PatternInstance]
     ) -> "EventId | None":
         """The event immediately following *every* instance, if one exists.
 
@@ -154,17 +233,3 @@ class IterativePatternMinerBase:
             elif absorbing != event:
                 return None
         return absorbing
-
-    def _emit(
-        self,
-        database: SequenceDatabase,
-        pattern: Tuple[EventId, ...],
-        instances: List[PatternInstance],
-        result: PatternMiningResult,
-    ) -> None:
-        result.stats.emitted += 1
-        labels = database.vocabulary.decode(pattern)
-        kept_instances = tuple(instances) if self.config.collect_instances else ()
-        result.patterns.append(
-            MinedPattern(events=labels, support=len(instances), instances=kept_instances)
-        )

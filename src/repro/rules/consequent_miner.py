@@ -23,13 +23,11 @@ from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence as TypingSequence, Tuple
 
-from ..core.events import EventId
+from ..core.events import EncodedDatabase, EventId
 from ..core.positions import PositionIndex
 from ..core.stats import MiningStats
 from .config import RuleMiningConfig
 from .temporal_points import temporal_points_in_sequence
-
-EncodedDatabase = TypingSequence[TypingSequence[EventId]]
 
 
 @dataclass(frozen=True)

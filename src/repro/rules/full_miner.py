@@ -8,7 +8,10 @@ materialising rules) explodes as the thresholds drop.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..core.sequence import SequenceDatabase
+from ..engine import ExecutionBackend
 from .config import RuleMiningConfig
 from .miner_base import RecurrentRuleMinerBase
 from .result import RuleMiningResult
@@ -40,6 +43,7 @@ def mine_all_rules(
     min_s_support: float = 2.0,
     min_i_support: int = 1,
     min_confidence: float = 0.5,
+    backend: Optional[ExecutionBackend] = None,
     **kwargs: object,
 ) -> RuleMiningResult:
     """Convenience wrapper: mine the full set of significant recurrent rules."""
@@ -49,4 +53,4 @@ def mine_all_rules(
         min_confidence=min_confidence,
         **kwargs,  # type: ignore[arg-type]
     )
-    return FullRecurrentRuleMiner(config).mine(database)
+    return FullRecurrentRuleMiner(config).mine(database, backend=backend)

@@ -6,19 +6,85 @@ with confidence pruning (Theorem 3), filter by i-support, and finally filter
 redundant rules.  The only differences between the two miners are whether the
 consequent grower suppresses dominated rules early and whether the final
 Definition 5.2 sweep is applied; both choices live in class attributes.
+
+Like the pattern miners, the premise search is *root-parallel*: the subtree
+below each single-event premise is independent, so the miners implement the
+engine's miner protocol (``build_context`` / ``plan_roots`` / ``mine_root``)
+and an :class:`~repro.engine.backend.ExecutionBackend` decides whether roots
+run serially or on a worker pool.  The Definition 5.2 sweep is global, so it
+always runs in the coordinating process after the deterministic merge.
 """
 
 from __future__ import annotations
 
-from ..core.positions import PositionIndex
-from ..core.sequence import SequenceDatabase
+from collections import Counter
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    NamedTuple,
+    Optional,
+    Tuple,
+)
+
+from ..core.events import EncodedDatabase, EventId
+from ..core.sequence import SequenceDatabase, absolute_support
 from ..core.stats import MiningStats
+from ..engine import (
+    ExecutionBackend,
+    LazyIndexContext,
+    PlanResult,
+    SerialBackend,
+    ShardRunner,
+    plan_weighted_roots,
+    run_sharded,
+)
 from .config import RuleMiningConfig
 from .consequent_miner import ConsequentGrower
-from .premise_miner import PremiseMiner
+from .premise_miner import PremiseMiner, initial_premise_projections
 from .redundancy import filter_redundant
 from .result import RuleMiningResult
 from .rule import RecurrentRule
+
+
+class RuleRecord(NamedTuple):
+    """An emitted rule in encoded (event-id) form, as produced by workers."""
+
+    premise: Tuple[EventId, ...]
+    consequent: Tuple[EventId, ...]
+    s_support: int
+    i_support: int
+    confidence: float
+
+
+class RuleSearchContext(LazyIndexContext):
+    """Per-run search state, built once per process by the engine.
+
+    The index and the root premise projections are materialised lazily:
+    the coordinating process only plans (a counts-only pass), so only the
+    processes that actually mine pay for them — each exactly once,
+    reused across all the shards that process executes.
+    """
+
+    __slots__ = ("min_s_support", "allowed_events", "_initial")
+
+    def __init__(
+        self,
+        encoded: EncodedDatabase,
+        min_s_support: int,
+        allowed_events: Optional[FrozenSet[EventId]],
+    ) -> None:
+        super().__init__(encoded)
+        self.min_s_support = min_s_support
+        self.allowed_events = allowed_events
+        self._initial: Optional[Dict[EventId, List[Tuple[int, int]]]] = None
+
+    @property
+    def initial(self) -> Dict[EventId, List[Tuple[int, int]]]:
+        if self._initial is None:
+            self._initial = initial_premise_projections(self.encoded, self.allowed_events)
+        return self._initial
 
 
 class RecurrentRuleMinerBase:
@@ -31,11 +97,21 @@ class RecurrentRuleMinerBase:
     #: marker copied to the result object
     non_redundant_only = False
 
-    def __init__(self, config: RuleMiningConfig) -> None:
+    def __init__(
+        self, config: RuleMiningConfig, backend: Optional[ExecutionBackend] = None
+    ) -> None:
         self.config = config
+        self.backend = backend
 
-    def mine(self, database: SequenceDatabase) -> RuleMiningResult:
-        """Mine the database and return the (full or non-redundant) rule set."""
+    def mine(
+        self, database: SequenceDatabase, backend: Optional[ExecutionBackend] = None
+    ) -> RuleMiningResult:
+        """Mine the database and return the (full or non-redundant) rule set.
+
+        ``backend`` (or the instance-level backend passed to the
+        constructor) selects where the search runs; the result does not
+        depend on the choice.
+        """
         stats = MiningStats()
         stats.start()
 
@@ -48,43 +124,30 @@ class RecurrentRuleMinerBase:
             non_redundant_only=self.non_redundant_only,
         )
 
-        encoded = database.encoded
-        index = PositionIndex(encoded)
         vocabulary = database.vocabulary
-
-        allowed_events = None
+        extras: Dict[str, Any] = {}
         if self.config.allowed_premise_events is not None:
-            allowed_events = frozenset(
+            extras["allowed_event_ids"] = frozenset(
                 vocabulary.id_of(label)
                 for label in self.config.allowed_premise_events
                 if label in vocabulary
             )
-        premise_miner = PremiseMiner(
-            min_s_support=min_s_support,
-            max_length=self.config.max_premise_length,
-            stats=stats,
-            allowed_events=allowed_events,
-        )
-        for premise in premise_miner.mine(encoded):
-            grower = ConsequentGrower(
-                encoded_db=encoded,
-                index=index,
-                premise=premise.pattern,
-                premise_projections=premise.projections,
-                config=self.config,
-                stats=stats,
-            )
-            premise_labels = vocabulary.decode(premise.pattern)
-            for grown in grower.grow(skip_dominated=self.skip_dominated):
-                result.rules.append(
-                    RecurrentRule(
-                        premise=premise_labels,
-                        consequent=vocabulary.decode(grown.consequent),
-                        s_support=grown.s_support,
-                        i_support=grown.i_support,
-                        confidence=grown.confidence,
-                    )
+
+        chosen = backend or self.backend or SerialBackend()
+        runner = ShardRunner(self, database.encoded, extras)
+        records, search_stats = run_sharded(chosen, runner)
+        stats.merge_counters(search_stats)
+
+        for record in records:
+            result.rules.append(
+                RecurrentRule(
+                    premise=vocabulary.decode(record.premise),
+                    consequent=vocabulary.decode(record.consequent),
+                    s_support=record.s_support,
+                    i_support=record.i_support,
+                    confidence=record.confidence,
                 )
+            )
 
         if self.apply_final_redundancy_filter:
             kept, dropped = filter_redundant(result.rules)
@@ -93,3 +156,68 @@ class RecurrentRuleMinerBase:
 
         stats.stop()
         return result
+
+    # ------------------------------------------------------------------ #
+    # Engine miner protocol
+    # ------------------------------------------------------------------ #
+    def build_context(
+        self, encoded: EncodedDatabase, extras: Dict[str, Any]
+    ) -> RuleSearchContext:
+        """Build the per-process search context (index + root projections)."""
+        allowed_events = extras.get("allowed_event_ids")
+        return RuleSearchContext(
+            encoded=encoded,
+            min_s_support=absolute_support(self.config.min_s_support, len(encoded)),
+            allowed_events=allowed_events,
+        )
+
+    def plan_roots(self, context: RuleSearchContext) -> PlanResult:
+        """Frequent single-event premises, weighted by sequence support.
+
+        A counts-only database pass: the number of sequences containing an
+        event equals its root projection count, so the coordinator never
+        materialises the projection lists the workers will build for
+        themselves.
+        """
+        allowed = context.allowed_events
+        counts: Counter = Counter()
+        for sequence in context.encoded:
+            distinct = set(sequence)
+            if allowed is not None:
+                distinct &= allowed
+            counts.update(distinct)
+        return plan_weighted_roots(counts, context.min_s_support)
+
+    def mine_root(
+        self, context: RuleSearchContext, root: EventId, stats: MiningStats
+    ) -> List[RuleRecord]:
+        """Mine every rule whose premise starts with ``root``."""
+        premise_miner = PremiseMiner(
+            min_s_support=context.min_s_support,
+            max_length=self.config.max_premise_length,
+            stats=stats,
+            allowed_events=context.allowed_events,
+        )
+        records: List[RuleRecord] = []
+        for premise in premise_miner.grow_from_root(
+            context.encoded, root, context.initial[root]
+        ):
+            grower = ConsequentGrower(
+                encoded_db=context.encoded,
+                index=context.index,
+                premise=premise.pattern,
+                premise_projections=premise.projections,
+                config=self.config,
+                stats=stats,
+            )
+            for grown in grower.grow(skip_dominated=self.skip_dominated):
+                records.append(
+                    RuleRecord(
+                        premise=premise.pattern,
+                        consequent=grown.consequent,
+                        s_support=grown.s_support,
+                        i_support=grown.i_support,
+                        confidence=grown.confidence,
+                    )
+                )
+        return records

@@ -13,7 +13,10 @@ The non-redundant miner differs from the full miner in two places:
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..core.sequence import SequenceDatabase
+from ..engine import ExecutionBackend
 from .config import RuleMiningConfig
 from .miner_base import RecurrentRuleMinerBase
 from .result import RuleMiningResult
@@ -44,6 +47,7 @@ def mine_non_redundant_rules(
     min_s_support: float = 2.0,
     min_i_support: int = 1,
     min_confidence: float = 0.5,
+    backend: Optional[ExecutionBackend] = None,
     **kwargs: object,
 ) -> RuleMiningResult:
     """Convenience wrapper: mine the non-redundant set of significant rules."""
@@ -53,4 +57,4 @@ def mine_non_redundant_rules(
         min_confidence=min_confidence,
         **kwargs,  # type: ignore[arg-type]
     )
-    return NonRedundantRecurrentRuleMiner(config).mine(database)
+    return NonRedundantRecurrentRuleMiner(config).mine(database, backend=backend)

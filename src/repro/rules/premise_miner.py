@@ -16,14 +16,11 @@ from typing import (
     List,
     NamedTuple,
     Optional,
-    Sequence as TypingSequence,
     Tuple,
 )
 
-from ..core.events import EventId
+from ..core.events import EncodedDatabase, EventId
 from ..core.stats import MiningStats
-
-EncodedDatabase = TypingSequence[TypingSequence[EventId]]
 
 
 class MinedPremise(NamedTuple):
@@ -37,6 +34,28 @@ class MinedPremise(NamedTuple):
     pattern: Tuple[EventId, ...]
     s_support: int
     projections: Tuple[Tuple[int, int], ...]
+
+
+def initial_premise_projections(
+    encoded_db: EncodedDatabase,
+    allowed_events: Optional[FrozenSet[EventId]] = None,
+) -> Dict[EventId, List[Tuple[int, int]]]:
+    """Earliest-occurrence projections of every single-event premise.
+
+    Maps each (allowed) event to ``(sequence_index, position)`` pairs, one
+    per sequence containing it, pointing at its earliest occurrence.  This
+    is the root level of the premise search; the parallel engine computes
+    it once to plan shards and workers reuse it to seed their subtrees.
+    """
+    initial: Dict[EventId, List[Tuple[int, int]]] = {}
+    for sequence_index, sequence in enumerate(encoded_db):
+        seen: Dict[EventId, int] = {}
+        for position, event in enumerate(sequence):
+            if event not in seen and (allowed_events is None or event in allowed_events):
+                seen[event] = position
+        for event, position in seen.items():
+            initial.setdefault(event, []).append((sequence_index, position))
+    return initial
 
 
 class PremiseMiner:
@@ -59,21 +78,27 @@ class PremiseMiner:
 
     def mine(self, encoded_db: EncodedDatabase) -> Iterator[MinedPremise]:
         """Yield every s-frequent premise, depth-first, shortest prefix first."""
-        initial: Dict[EventId, List[Tuple[int, int]]] = {}
-        for sequence_index, sequence in enumerate(encoded_db):
-            seen: Dict[EventId, int] = {}
-            for position, event in enumerate(sequence):
-                if event not in seen and self._is_allowed(event):
-                    seen[event] = position
-            for event, position in seen.items():
-                initial.setdefault(event, []).append((sequence_index, position))
-
+        initial = initial_premise_projections(encoded_db, self.allowed_events)
         for event in sorted(initial):
             projections = initial[event]
             if len(projections) < self.min_s_support:
                 self.stats.pruned_support += 1
                 continue
-            yield from self._grow(encoded_db, (event,), projections)
+            yield from self.grow_from_root(encoded_db, event, projections)
+
+    def grow_from_root(
+        self,
+        encoded_db: EncodedDatabase,
+        event: EventId,
+        projections: List[Tuple[int, int]],
+    ) -> Iterator[MinedPremise]:
+        """Yield the s-frequent premises of one root's subtree, depth-first.
+
+        ``projections`` must be the earliest-occurrence projections of
+        ``<event>`` (see :func:`initial_premise_projections`); the parallel
+        engine calls this per shard root.
+        """
+        yield from self._grow(encoded_db, (event,), projections)
 
     def _grow(
         self,

@@ -18,7 +18,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Set, Tuple
 
 from ..core.errors import ConfigurationError
-from ..core.events import EventLabel
 from ..core.positions import PositionIndex
 from ..core.sequence import SequenceDatabase
 from ..core.stats import MiningStats

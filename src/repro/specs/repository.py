@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence as TypingSequence, Union
+from typing import Dict, List, Union
 
 from ..core.errors import DataFormatError
 from ..core.events import EventLabel

@@ -13,7 +13,7 @@ behaviour — the source of *iterative* patterns — shows up in the traces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 from ..core.errors import ConfigurationError
 from ..core.sequence import SequenceDatabase
@@ -25,6 +25,9 @@ TestCallable = Callable[[TraceCollector, int], None]
 @dataclass
 class TestCase:
     """A named test: a callable receiving the collector and an iteration index."""
+
+    # Not a pytest test class, despite the name (silences PytestCollectionWarning).
+    __test__ = False
 
     name: str
     run: TestCallable
@@ -40,6 +43,9 @@ class TestCase:
 @dataclass
 class TestSuiteRunner:
     """Run a list of test cases, one trace per (test, repetition)."""
+
+    # Not a pytest test class, despite the name (silences PytestCollectionWarning).
+    __test__ = False
 
     tests: List[TestCase] = field(default_factory=list)
     collector: TraceCollector = field(default_factory=TraceCollector)

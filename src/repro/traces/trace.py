@@ -9,7 +9,7 @@ A :class:`Trace` is a named sequence of event labels — one program run.  A
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Sequence as TypingSequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from ..core.errors import DataFormatError
 from ..core.events import EventLabel

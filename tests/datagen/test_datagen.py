@@ -16,7 +16,7 @@ from repro.datagen.profiles import (
     profile,
     scaled_profile,
 )
-from repro.datagen.quest import QuestConfig, QuestGenerator, generate_quest_database
+from repro.datagen.quest import QuestConfig, generate_quest_database
 from repro.core.sequence import SequenceDatabase
 
 

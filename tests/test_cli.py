@@ -68,6 +68,45 @@ def test_jboss_mine_rules_and_monitor(tmp_path, capsys):
     assert exit_code in (0, 1)
 
 
+def test_mine_patterns_with_parallel_workers(tmp_path, capsys):
+    traces = tmp_path / "tiny.txt"
+    traces.write_text(
+        "lock\nuse\nunlock\n\nlock\nunlock\n\nlock\nread\nunlock\n", encoding="utf-8"
+    )
+    base = ["mine-patterns", "--input", str(traces), "--min-support", "2"]
+    assert main(base) == 0
+    serial_output = capsys.readouterr().out
+    assert "backend=serial" in serial_output
+
+    assert main(base + ["--workers", "2"]) == 0
+    parallel_output = capsys.readouterr().out
+    assert "backend=process[workers=2]" in parallel_output
+    # The mined table must be identical; only the summary line may differ.
+    assert serial_output.splitlines()[1:] == parallel_output.splitlines()[1:]
+
+
+def test_mine_rules_with_explicit_backend(tmp_path, capsys):
+    traces = tmp_path / "tiny.txt"
+    traces.write_text("lock\nuse\nunlock\n\nlock\nunlock\n", encoding="utf-8")
+    code = main(
+        [
+            "mine-rules",
+            "--input",
+            str(traces),
+            "--min-s-support",
+            "2",
+            "--min-confidence",
+            "0.5",
+            "--backend",
+            "process",
+            "--workers",
+            "2",
+        ]
+    )
+    assert code == 0
+    assert "backend=process[workers=2]" in capsys.readouterr().out
+
+
 def test_mine_patterns_full_flag(tmp_path, capsys):
     traces = tmp_path / "tiny.txt"
     traces.write_text("lock\nuse\nunlock\n\nlock\nunlock\n", encoding="utf-8")
