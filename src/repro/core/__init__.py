@@ -15,6 +15,7 @@ from .errors import (
     ReproError,
     VocabularyError,
 )
+from .blocks import BlockBuilder, InstanceBlock, PositionBlock, PositionBlockBuilder
 from .events import EventId, EventLabel, EventVocabulary
 from .instances import (
     PatternInstance,
@@ -49,6 +50,10 @@ __all__ = [
     "PatternError",
     "ReproError",
     "VocabularyError",
+    "BlockBuilder",
+    "InstanceBlock",
+    "PositionBlock",
+    "PositionBlockBuilder",
     "EventId",
     "EventLabel",
     "EventVocabulary",

@@ -29,7 +29,16 @@ computation performed inside the miners.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, NamedTuple, Sequence as TypingSequence, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence as TypingSequence,
+    Tuple,
+)
 
 from .errors import PatternError
 
@@ -94,7 +103,7 @@ def _try_match_from(
     pattern: Tuple,
     pattern_alphabet: frozenset,
     start: int,
-) -> Tuple[int, int] or None:
+) -> Optional[Tuple[int, int]]:
     """Match the QRE starting exactly at ``start``; return the span or ``None``."""
     expected_index = 1
     if len(pattern) == 1:

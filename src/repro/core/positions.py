@@ -36,6 +36,14 @@ class SequencePositions:
         """All positions of ``event`` (possibly empty), sorted ascending."""
         return self._positions.get(event, [])
 
+    def table(self) -> Dict[EventId, List[int]]:
+        """The raw ``event -> sorted positions`` mapping (read-only view).
+
+        Exposed for the columnar hot loops, which inline their binary
+        searches over the per-event lists; callers must not mutate it.
+        """
+        return self._positions
+
     def count(self, event: EventId) -> int:
         """Number of occurrences of ``event`` in the sequence."""
         return len(self._positions.get(event, ()))

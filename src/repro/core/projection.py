@@ -21,12 +21,35 @@ Correctness of the incremental step (checked against the oracle in
 The symmetric statement holds for backward extensions ``<e> ++ P`` scanning
 to the left of the instance start.  Both directions rely on the fact that an
 instance is uniquely determined by its start (respectively end) position.
+
+Two implementations live side by side:
+
+* the **reference path** over ``List[PatternInstance]``
+  (:func:`singleton_instances`, :func:`forward_extensions`,
+  :func:`backward_extension_events`) — a direct, readable translation kept
+  as the comparison baseline for the correctness tests and the hot-path
+  benchmark;
+* the **block path** over :class:`~repro.core.blocks.InstanceBlock`
+  (:func:`singleton_blocks`, :func:`forward_extensions_block`,
+  :func:`backward_extension_events_block`) — the columnar implementation
+  the miners actually run.  It iterates flat int columns, hoists the
+  per-sequence lookups out of the per-instance loop, and answers every
+  "first/last alphabet event around t" query with one binary search in a
+  per-node merged occurrence list (:class:`AlphabetIndex`) instead of one
+  ``bisect`` per alphabet event per instance.
+
+Both paths produce instances in the identical canonical order, so the block
+path is bit-compatible with the reference (and with the pre-columnar
+releases); the property tests assert exactly that.
 """
 
 from __future__ import annotations
 
+from array import array
+from bisect import bisect_left, bisect_right
 from typing import Dict, FrozenSet, List, Optional, Sequence as TypingSequence, Set, Tuple
 
+from .blocks import BLOCK_TYPECODE, BlockBuilder, InstanceBlock
 from .events import EncodedDatabase, EventId
 from .instances import PatternInstance
 from .positions import PositionIndex, SequencePositions
@@ -77,6 +100,10 @@ def forward_extensions(
 
     Returns a mapping ``e -> instances of pattern ++ <e>``.  Only events that
     yield at least one instance appear as keys.
+
+    Reference implementation over instance tuples; the miners run
+    :func:`forward_extensions_block`, which must (and is property-tested to)
+    agree with this one row for row.
     """
     alphabet = frozenset(pattern)
     extensions: Dict[EventId, List[PatternInstance]] = {}
@@ -117,7 +144,14 @@ def backward_extension_instance(
     instance: PatternInstance,
     event: EventId,
 ) -> Optional[PatternInstance]:
-    """The instance of ``<event> ++ pattern`` extending ``instance`` backwards, if any."""
+    """The instance of ``<event> ++ pattern`` extending ``instance`` backwards, if any.
+
+    When ``event`` belongs to the pattern's alphabet, its last occurrence
+    before the instance start may coincide with the last alphabet occurrence;
+    that position is a valid backward extension (the extended pattern repeats
+    an event it already contains), so only a *strictly later* alphabet
+    occurrence blocks the extension.
+    """
     alphabet = frozenset(pattern)
     positions = index[instance.sequence_index]
     if event not in alphabet and positions.occurs_between(event, instance.start, instance.end):
@@ -128,9 +162,6 @@ def backward_extension_instance(
         return None
     if previous_alphabet is not None and previous_alphabet > previous_event:
         return None
-    if previous_alphabet is not None and previous_alphabet == previous_event:
-        # Same position can only happen when ``event`` is in the alphabet.
-        pass
     return PatternInstance(instance.sequence_index, previous_event, instance.end)
 
 
@@ -145,6 +176,9 @@ def backward_extension_events(
     Used by the closure check: any such event proves the pattern non-closed
     (Definition 4.2), because the instance counts match and each instance of
     the pattern nests inside the corresponding backward-extended instance.
+
+    Reference implementation; the miners run
+    :func:`backward_extension_events_block`.
     """
     if not instances:
         return set()
@@ -171,4 +205,268 @@ def backward_extension_events(
         candidates = local if candidates is None else (candidates & local)
         if not candidates:
             return set()
+    return candidates or set()
+
+
+# --------------------------------------------------------------------- #
+# Columnar (block) path — what the miners actually run.
+# --------------------------------------------------------------------- #
+class AlphabetIndex:
+    """Per-search-node shared boundary cache.
+
+    Every instance at a search node shares one pattern alphabet, so the
+    "first alphabet event after t" / "last alphabet event before t" queries
+    differ only in ``t``.  This cache merges the per-event sorted occurrence
+    lists of the alphabet into one sorted list per sequence — built lazily,
+    once per (node, sequence) — and answers each query with a single binary
+    search instead of one ``bisect`` per alphabet event per instance.
+
+    It also owns the node's ``frozenset(pattern)`` so the projection,
+    backward-extension and closure helpers stop rebuilding it per call.
+
+    Child nodes are derived with :meth:`extend`, which exploits that a
+    forward extension changes the alphabet by at most one event: extending
+    with an event already in the alphabet *shares* the parent's merged
+    lists outright (the overwhelmingly common case when patterns repeat
+    their events), and a genuinely new event merges its occurrence list
+    into the parent's — an O(n) two-run merge instead of a from-scratch
+    rebuild over every alphabet event.
+    """
+
+    __slots__ = ("pattern", "alphabet", "_index", "_merged", "_parent", "_new_event")
+
+    def __init__(self, index: PositionIndex, pattern: Tuple[EventId, ...]) -> None:
+        self.pattern = pattern
+        self.alphabet = frozenset(pattern)
+        self._index = index
+        self._merged: Dict[int, List[int]] = {}
+        self._parent: Optional["AlphabetIndex"] = None
+        self._new_event: Optional[EventId] = None
+
+    def extend(self, event: EventId) -> "AlphabetIndex":
+        """The cache for the child node ``pattern ++ <event>``."""
+        child = AlphabetIndex.__new__(AlphabetIndex)
+        child.pattern = self.pattern + (event,)
+        child._index = self._index
+        if event in self.alphabet:
+            # Same alphabet: the merged lists are identical, share the cache
+            # (both nodes may keep filling it — the values agree) along with
+            # this node's own derivation for misses.
+            child.alphabet = self.alphabet
+            child._merged = self._merged
+            child._parent = self._parent
+            child._new_event = self._new_event
+        else:
+            child.alphabet = self.alphabet | {event}
+            child._merged = {}
+            child._parent = self
+            child._new_event = event
+        return child
+
+    def merged(self, sequence_index: int) -> List[int]:
+        """Sorted positions of every alphabet event in one sequence."""
+        merged = self._merged.get(sequence_index)
+        if merged is None:
+            positions = self._index[sequence_index]
+            parent = self._parent
+            if parent is not None:
+                base = parent.merged(sequence_index)
+                extra = positions.positions_of(self._new_event)
+                if not extra:
+                    merged = base
+                else:
+                    # Two sorted runs: timsort merges them in linear time.
+                    merged = base + extra
+                    merged.sort()
+            else:
+                events = iter(self.alphabet)
+                merged = list(positions.positions_of(next(events)))
+                for event in events:
+                    merged.extend(positions.positions_of(event))
+                merged.sort()
+            self._merged[sequence_index] = merged
+        return merged
+
+    def first_after(self, sequence_index: int, position: int) -> Optional[int]:
+        """First alphabet occurrence strictly after ``position``."""
+        merged = self.merged(sequence_index)
+        cursor = bisect_right(merged, position)
+        if cursor == len(merged):
+            return None
+        return merged[cursor]
+
+    def last_before(self, sequence_index: int, position: int) -> Optional[int]:
+        """Last alphabet occurrence strictly before ``position``."""
+        merged = self.merged(sequence_index)
+        cursor = bisect_left(merged, position)
+        if cursor == 0:
+            return None
+        return merged[cursor - 1]
+
+
+def singleton_blocks(encoded_db: EncodedDatabase) -> Dict[EventId, InstanceBlock]:
+    """Instance blocks of every single-event pattern ``<e>`` in one pass."""
+    builders: Dict[EventId, BlockBuilder] = {}
+    for sequence_index, sequence in enumerate(encoded_db):
+        for position, event in enumerate(sequence):
+            builder = builders.get(event)
+            if builder is None:
+                builder = builders[event] = BlockBuilder()
+            builder.append(sequence_index, position, position)
+    return {event: builder.build() for event, builder in builders.items()}
+
+
+def forward_extensions_block(
+    encoded_db: EncodedDatabase,
+    index: PositionIndex,
+    node: AlphabetIndex,
+    block: InstanceBlock,
+) -> Dict[EventId, InstanceBlock]:
+    """Columnar :func:`forward_extensions`: ``e -> block of pattern ++ <e>``.
+
+    Iterates the block sequence group by sequence group, hoisting the
+    ``encoded_db[sid]`` / ``index[sid]`` / merged-alphabet lookups out of
+    the per-instance loop, and emits extension rows into
+    :class:`~repro.core.blocks.BlockBuilder` columns — no per-instance
+    object allocation anywhere on the path.
+    """
+    # Per-event open builder state, laid out flat for the inner loop:
+    # [starts.append, ends.append, seq_ids.append, offsets.append,
+    #  last_sid, starts, ends, seq_ids, offsets]
+    # Appending a row is two bound-method calls (plus a group registration
+    # when the sequence changes) with no per-row Python function frames.
+    entries: Dict[EventId, list] = {}
+    alphabet = node.alphabet
+    starts = block.starts
+    ends = block.ends
+    seq_ids = block.seq_ids
+    offsets = block.offsets
+    for group in range(len(seq_ids)):
+        sid = seq_ids[group]
+        sequence = encoded_db[sid]
+        table = index[sid].table()
+        merged = node.merged(sid)
+        merged_len = len(merged)
+        sequence_len = len(sequence)
+        lo = offsets[group]
+        hi = offsets[group + 1]
+        for start, end in zip(starts[lo:hi], ends[lo:hi]):
+            after = end + 1
+            if after < sequence_len and sequence[after] in alphabet:
+                # Fast path: the adjacent event already bounds the window —
+                # no boundary search, no gap window to scan.
+                boundary = after
+                window_end = after
+            else:
+                cursor = bisect_right(merged, end)
+                if cursor < merged_len:
+                    boundary = merged[cursor]
+                    window_end = boundary
+                else:
+                    boundary = -1
+                    window_end = sequence_len
+            if window_end > after:
+                has_gap = end - start > 1
+                seen_outside = set()
+                for position in range(end + 1, window_end):
+                    event = sequence[position]
+                    if event in seen_outside:
+                        continue
+                    seen_outside.add(event)
+                    if has_gap:
+                        # Gap check: ``event`` must not occur strictly
+                        # inside (start, end) — inlined occurs_between on
+                        # the sorted per-event position list.
+                        occurrences = table[event]
+                        gap_cursor = bisect_right(occurrences, start)
+                        if gap_cursor < len(occurrences) and occurrences[gap_cursor] < end:
+                            continue
+                    entry = entries.get(event)
+                    if entry is None:
+                        entry = entries[event] = _new_entry()
+                    if entry[4] != sid:
+                        entry[2](sid)
+                        entry[3](len(entry[5]))
+                        entry[4] = sid
+                    entry[0](start)
+                    entry[1](position)
+            if boundary >= 0:
+                # The next alphabet event itself is a valid extension target:
+                # the extended pattern then repeats an event it already has.
+                event = sequence[boundary]
+                entry = entries.get(event)
+                if entry is None:
+                    entry = entries[event] = _new_entry()
+                if entry[4] != sid:
+                    entry[2](sid)
+                    entry[3](len(entry[5]))
+                    entry[4] = sid
+                entry[0](start)
+                entry[1](boundary)
+    extensions: Dict[EventId, InstanceBlock] = {}
+    for event, entry in entries.items():
+        entry[8].append(len(entry[5]))
+        extensions[event] = InstanceBlock(entry[7], entry[8], entry[5], entry[6])
+    return extensions
+
+
+def _new_entry() -> list:
+    """Fresh flat builder state for one extension event (see above layout)."""
+    starts = array(BLOCK_TYPECODE)
+    ends = array(BLOCK_TYPECODE)
+    seq_ids = array(BLOCK_TYPECODE)
+    offsets = array(BLOCK_TYPECODE)
+    return [starts.append, ends.append, seq_ids.append, offsets.append, -1,
+            starts, ends, seq_ids, offsets]
+
+
+def backward_extension_events_block(
+    encoded_db: EncodedDatabase,
+    index: PositionIndex,
+    node: AlphabetIndex,
+    block: InstanceBlock,
+) -> Set[EventId]:
+    """Columnar :func:`backward_extension_events` over an instance block.
+
+    The window ``(previous alphabet occurrence, start)`` contains no
+    alphabet events by construction, so unlike the reference loop no
+    per-position alphabet membership test is needed.
+    """
+    if not block:
+        return set()
+    candidates: Optional[Set[EventId]] = None
+    starts = block.starts
+    ends = block.ends
+    seq_ids = block.seq_ids
+    offsets = block.offsets
+    for group in range(len(seq_ids)):
+        sid = seq_ids[group]
+        sequence = encoded_db[sid]
+        table = index[sid].table()
+        merged = node.merged(sid)
+        lo = offsets[group]
+        hi = offsets[group + 1]
+        for start, end in zip(starts[lo:hi], ends[lo:hi]):
+            cursor = bisect_left(merged, start) - 1
+            previous_alphabet = merged[cursor] if cursor >= 0 else -1
+            has_gap = end - start > 1
+            local: Set[EventId] = set()
+            for position in range(previous_alphabet + 1, start):
+                event = sequence[position]
+                if event in local:
+                    continue
+                if has_gap:
+                    occurrences = table[event]
+                    gap_cursor = bisect_right(occurrences, start)
+                    if gap_cursor < len(occurrences) and occurrences[gap_cursor] < end:
+                        continue
+                local.add(event)
+            if previous_alphabet >= 0:
+                # A pattern-alphabet event immediately "reachable" to the
+                # left is also a valid backward extension (the pattern
+                # repeats it).
+                local.add(sequence[previous_alphabet])
+            candidates = local if candidates is None else (candidates & local)
+            if not candidates:
+                return set()
     return candidates or set()

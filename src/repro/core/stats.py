@@ -25,6 +25,13 @@ class MiningStats:
     pruned_confidence: int = 0
     pruned_closure: int = 0
     pruned_redundancy: int = 0
+    #: instance-list rows materialised into columnar blocks while growing
+    #: patterns — the allocation volume of the projected-database hot loop
+    instances_materialized: int = 0
+    #: payload bytes of instance blocks packaged into shard outcomes (the
+    #: worker-to-coordinator transfer volume on the process backend; counted
+    #: identically on the serial backend for comparability)
+    shipped_bytes: int = 0
     extra: Dict[str, int] = field(default_factory=dict)
     _started_at: float = field(default=0.0, repr=False)
     elapsed_seconds: float = 0.0
@@ -71,6 +78,8 @@ class MiningStats:
             "pruned_confidence": float(self.pruned_confidence),
             "pruned_closure": float(self.pruned_closure),
             "pruned_redundancy": float(self.pruned_redundancy),
+            "instances_materialized": float(self.instances_materialized),
+            "shipped_bytes": float(self.shipped_bytes),
             "elapsed_seconds": self.elapsed_seconds,
         }
         for key, value in self.extra.items():

@@ -54,6 +54,19 @@ def plan_weighted_roots(
     return PlanResult(tuple(roots), pruned)
 
 
+def _record_payload_bytes(record: Any) -> int:
+    """Buffer bytes a record's instance payload contributes to the outcome.
+
+    Duck-typed so the engine stays miner-agnostic: any record exposing an
+    ``instances`` attribute with an ``nbytes()`` method (the columnar
+    blocks) is counted; everything else ships as plain small tuples and
+    counts as zero.
+    """
+    payload = getattr(record, "instances", None)
+    nbytes = getattr(payload, "nbytes", None)
+    return nbytes() if callable(nbytes) else 0
+
+
 class LazyIndexContext:
     """Base class for per-run search contexts: encoded db + lazy index.
 
@@ -102,12 +115,20 @@ class ShardRunner:
         self._ensure_context()
 
     def run_shard(self, shard: Shard) -> ShardOutcome:
-        """Mine every root of ``shard`` and package the outcome."""
+        """Mine every root of ``shard`` and package the outcome.
+
+        ``shipped_bytes`` accounts the instance-block payload packaged into
+        the outcome — the volume that crosses the worker-to-coordinator
+        pickle boundary on the process backend (counted identically on the
+        serial backend so the number is comparable across backends).
+        """
         context = self._ensure_context()
         stats = MiningStats()
         root_results: List[RootResult] = []
         for root in shard.roots:
             records = tuple(self.miner.mine_root(context, root, stats))
+            for record in records:
+                stats.shipped_bytes += _record_payload_bytes(record)
             root_results.append(RootResult(root, records))
         return ShardOutcome(shard.index, tuple(root_results), stats)
 

@@ -10,14 +10,15 @@ the paper's Figure 1(b).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
-from ..core.events import EventId
-from ..core.instances import PatternInstance
+from ..core.blocks import InstanceBlock
+from ..core.events import EncodedDatabase, EventId
 from ..core.positions import PositionIndex
+from ..core.projection import AlphabetIndex
 from ..core.sequence import SequenceDatabase
 from ..engine import ExecutionBackend
-from .closure import is_closed
+from .closure import is_closed_block
 from .config import IterativeMiningConfig
 from .miner_base import IterativePatternMinerBase
 from .result import PatternMiningResult
@@ -42,23 +43,23 @@ class ClosedIterativePatternMiner(IterativePatternMinerBase):
 
     def _should_emit(
         self,
-        encoded: List[Tuple[EventId, ...]],
+        encoded: EncodedDatabase,
         index: PositionIndex,
-        pattern: Tuple[EventId, ...],
-        instances: List[PatternInstance],
-        extensions: Dict[EventId, List[PatternInstance]],
+        node: AlphabetIndex,
+        block: InstanceBlock,
+        extensions: Dict[EventId, InstanceBlock],
     ) -> bool:
         max_length = self.config.max_pattern_length
-        if max_length is not None and len(pattern) >= max_length:
+        if max_length is not None and len(node.pattern) >= max_length:
             # Closedness is judged relative to the explored pattern space:
             # every single-event extension of a cap-length pattern lies
             # outside it, so cap-length frequent patterns are emitted.
             return True
-        return is_closed(
+        return is_closed_block(
             encoded,
             index,
-            pattern,
-            instances,
+            node,
+            block,
             extensions,
             check_infix=self.config.check_infix_extensions,
         )

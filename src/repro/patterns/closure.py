@@ -19,12 +19,20 @@ extends.  The backward check scans the region to the left of every instance
 collects candidate events occurring in the gaps of *every* instance (usually
 none) and verifies each candidate insertion against the exact instance
 semantics.
+
+The checks exist in two forms: the original list-based helpers (kept as the
+reference path for tests and benchmarks) and columnar ``*_block`` variants
+over :class:`~repro.core.blocks.InstanceBlock`, which share the search
+node's :class:`~repro.core.projection.AlphabetIndex` so the per-instance
+boundary queries collapse into binary searches on one merged occurrence
+list.  The miners run the block variants.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence as TypingSequence, Tuple
+from typing import Dict, List, Optional, Sequence as TypingSequence, Sized, Tuple
 
+from ..core.blocks import InstanceBlock
 from ..core.events import EventId
 from ..core.instances import (
     PatternInstance,
@@ -33,16 +41,22 @@ from ..core.instances import (
     instances_correspond,
 )
 from ..core.positions import PositionIndex
-from ..core.projection import EncodedDatabase, backward_extension_events
+from ..core.projection import (
+    AlphabetIndex,
+    EncodedDatabase,
+    backward_extension_events,
+    backward_extension_events_block,
+)
 
 
 def forward_closure_violation(
-    extension_instances: Dict[EventId, List[PatternInstance]], instance_count: int
+    extension_instances: Dict[EventId, Sized], instance_count: int
 ) -> Optional[EventId]:
     """An event whose forward extension absorbs every instance, or ``None``.
 
     ``extension_instances`` maps each extension event to the instances of
-    ``P ++ <e>``; because each instance of ``P`` yields at most one extended
+    ``P ++ <e>`` (as a list or an :class:`InstanceBlock` — only sizes are
+    read); because each instance of ``P`` yields at most one extended
     instance per event, count equality means every instance extends.
     """
     for event, instances in extension_instances.items():
@@ -170,5 +184,101 @@ def is_closed(
     if backward_closure_violation(encoded_db, index, pattern, instances) is not None:
         return False
     if check_infix and infix_closure_violation(encoded_db, index, pattern, instances) is not None:
+        return False
+    return True
+
+
+# --------------------------------------------------------------------- #
+# Columnar (block) path — what the closed miner actually runs.
+# --------------------------------------------------------------------- #
+def _gap_candidates_block(
+    encoded_db: EncodedDatabase,
+    index: PositionIndex,
+    node: AlphabetIndex,
+    block: InstanceBlock,
+) -> Dict[EventId, List[int]]:
+    """Columnar :func:`_gap_candidates` over an instance block.
+
+    The candidate set almost always empties after a handful of rows, so the
+    scan walks the block's flat columns directly and never materialises
+    instance tuples.
+    """
+    if not block:
+        return {}
+    first_instance = block.first()
+    first_sequence = encoded_db[first_instance.sequence_index]
+    gaps_by_event: Dict[EventId, List[int]] = {}
+    for gap_index, position in gap_events(
+        first_sequence, node.pattern, (first_instance.start, first_instance.end)
+    ):
+        gaps = gaps_by_event.setdefault(first_sequence[position], [])
+        if gap_index not in gaps:
+            gaps.append(gap_index)
+    candidates = set(gaps_by_event)
+    starts = block.starts
+    ends = block.ends
+    for sid, lo, hi in block.groups():
+        if not candidates:
+            return {}
+        positions = index[sid]
+        for row in range(lo if sid != first_instance.sequence_index else lo + 1, hi):
+            start = starts[row]
+            end = ends[row]
+            candidates = {
+                event for event in candidates if positions.occurs_between(event, start, end)
+            }
+            if not candidates:
+                return {}
+    return {event: gaps_by_event[event] for event in candidates}
+
+
+def infix_closure_violation_block(
+    encoded_db: EncodedDatabase,
+    index: PositionIndex,
+    node: AlphabetIndex,
+    block: InstanceBlock,
+) -> Optional[Tuple[EventId, int]]:
+    """Columnar :func:`infix_closure_violation` over an instance block.
+
+    Candidate insertions are rare, so the exact verification (which needs
+    tuple-form instances for :func:`instances_correspond`) only materialises
+    the block when at least one candidate survives the gap pre-filter.
+    """
+    candidates = _gap_candidates_block(encoded_db, index, node, block)
+    if not candidates:
+        return None
+    pattern = node.pattern
+    instances = block.to_instances()
+    support = len(instances)
+    for event in sorted(candidates):
+        for insert_position in candidates[event]:
+            extended = pattern[:insert_position] + (event,) + pattern[insert_position:]
+            extended_instances = _oracle_instances(encoded_db, index, extended)
+            if len(extended_instances) != support:
+                continue
+            if instances_correspond(instances, extended_instances):
+                return (event, insert_position)
+    return None
+
+
+def is_closed_block(
+    encoded_db: EncodedDatabase,
+    index: PositionIndex,
+    node: AlphabetIndex,
+    block: InstanceBlock,
+    extension_blocks: Dict[EventId, InstanceBlock],
+    check_infix: bool = True,
+) -> bool:
+    """Columnar :func:`is_closed`: forward, backward and infix tests on blocks.
+
+    ``node`` is the search node's shared :class:`AlphabetIndex`; the miner
+    builds it once per node and the backward and infix checks reuse its
+    merged occurrence lists instead of rebuilding per-call alphabet state.
+    """
+    if forward_closure_violation(extension_blocks, len(block)) is not None:
+        return False
+    if backward_extension_events_block(encoded_db, index, node, block):
+        return False
+    if check_infix and infix_closure_violation_block(encoded_db, index, node, block) is not None:
         return False
     return True

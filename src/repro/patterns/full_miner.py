@@ -7,11 +7,12 @@ number of mined patterns blow up relative to the closed miner.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
-from ..core.events import EventId
-from ..core.instances import PatternInstance
+from ..core.blocks import InstanceBlock
+from ..core.events import EncodedDatabase, EventId
 from ..core.positions import PositionIndex
+from ..core.projection import AlphabetIndex
 from ..core.sequence import SequenceDatabase
 from ..engine import ExecutionBackend
 from .config import IterativeMiningConfig
@@ -38,11 +39,11 @@ class FullIterativePatternMiner(IterativePatternMinerBase):
 
     def _should_emit(
         self,
-        encoded: List[Tuple[EventId, ...]],
+        encoded: EncodedDatabase,
         index: PositionIndex,
-        pattern: Tuple[EventId, ...],
-        instances: List[PatternInstance],
-        extensions: Dict[EventId, List[PatternInstance]],
+        node: AlphabetIndex,
+        block: InstanceBlock,
+        extensions: Dict[EventId, InstanceBlock],
     ) -> bool:
         return True
 

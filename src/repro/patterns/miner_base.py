@@ -7,6 +7,15 @@ first ``k`` events yields distinct instances of ``P``'s length-``k`` prefix).
 Each frequent pattern is therefore reached exactly once, along the chain of
 its own prefixes.
 
+Instance lists travel the search as columnar
+:class:`~repro.core.blocks.InstanceBlock` values: flat int columns instead
+of per-instance tuples, so the inner projection loops allocate nothing per
+instance and shard results pickle as a few buffers.  Each search node builds
+one :class:`~repro.core.projection.AlphabetIndex` — the node's shared
+``frozenset(pattern)`` plus merged per-sequence alphabet-occurrence lists —
+which the forward projection, the backward closure scan and the infix check
+all share instead of rebuilding per call.
+
 The search is *root-parallel*: the subtree below each frequent singleton is
 independent of every other subtree, so the miners implement the engine's
 miner protocol (``build_context`` / ``plan_roots`` / ``mine_root``) and let
@@ -20,10 +29,10 @@ from __future__ import annotations
 from collections import Counter
 from typing import Any, Dict, List, NamedTuple, Optional, Tuple
 
+from ..core.blocks import InstanceBlock
 from ..core.events import EncodedDatabase, EventId
-from ..core.instances import PatternInstance
 from ..core.positions import PositionIndex
-from ..core.projection import forward_extensions, singleton_instances
+from ..core.projection import AlphabetIndex, forward_extensions_block, singleton_blocks
 from ..core.sequence import SequenceDatabase, absolute_support
 from ..core.stats import MiningStats
 from ..engine import (
@@ -40,17 +49,23 @@ from .result import MinedPattern, PatternMiningResult
 
 
 class PatternRecord(NamedTuple):
-    """An emitted pattern in encoded (event-id) form, as produced by workers."""
+    """An emitted pattern in encoded (event-id) form, as produced by workers.
+
+    ``instances`` carries the columnar block when instance collection is on
+    (``None`` otherwise); the coordinator decodes it to
+    :class:`~repro.core.instances.PatternInstance` tuples, so the block form
+    only exists on the mining path and the worker-to-coordinator wire.
+    """
 
     pattern: Tuple[EventId, ...]
     support: int
-    instances: Tuple[PatternInstance, ...]
+    instances: Optional[InstanceBlock]
 
 
 class PatternSearchContext(LazyIndexContext):
     """Per-run search state, built once per process by the engine.
 
-    The index and the singleton instance lists are materialised lazily:
+    The index and the singleton instance blocks are materialised lazily:
     the coordinating process only plans (a counts-only pass), so only the
     processes that actually mine pay for them — each exactly once,
     reused across all the shards that process executes.
@@ -61,12 +76,12 @@ class PatternSearchContext(LazyIndexContext):
     def __init__(self, encoded: EncodedDatabase, min_support: int) -> None:
         super().__init__(encoded)
         self.min_support = min_support
-        self._singletons: Optional[Dict[EventId, List[PatternInstance]]] = None
+        self._singletons: Optional[Dict[EventId, InstanceBlock]] = None
 
     @property
-    def singletons(self) -> Dict[EventId, List[PatternInstance]]:
+    def singletons(self) -> Dict[EventId, InstanceBlock]:
         if self._singletons is None:
-            self._singletons = singleton_instances(self.encoded)
+            self._singletons = singleton_blocks(self.encoded)
         return self._singletons
 
 
@@ -109,7 +124,9 @@ class IterativePatternMinerBase:
                 MinedPattern(
                     events=vocabulary.decode(record.pattern),
                     support=record.support,
-                    instances=record.instances,
+                    instances=(
+                        record.instances.to_tuple() if record.instances is not None else ()
+                    ),
                 )
             )
 
@@ -133,7 +150,7 @@ class IterativePatternMinerBase:
 
         A counts-only database pass: occurrence counts equal singleton
         instance counts, so the coordinator never materialises the
-        per-event instance lists the workers will build for themselves.
+        per-event instance blocks the workers will build for themselves.
         """
         counts: Counter = Counter()
         for sequence in context.encoded:
@@ -145,7 +162,8 @@ class IterativePatternMinerBase:
     ) -> List[PatternRecord]:
         """Mine the subtree rooted at the singleton ``<root>``."""
         records: List[PatternRecord] = []
-        self._grow(context, (root,), context.singletons[root], records, stats)
+        root_node = AlphabetIndex(context.index, (root,))
+        self._grow(context, (root,), context.singletons[root], records, stats, root_node)
         return records
 
     # ------------------------------------------------------------------ #
@@ -155,11 +173,15 @@ class IterativePatternMinerBase:
         self,
         encoded: EncodedDatabase,
         index: PositionIndex,
-        pattern: Tuple[EventId, ...],
-        instances: List[PatternInstance],
-        extensions: Dict[EventId, List[PatternInstance]],
+        node: AlphabetIndex,
+        block: InstanceBlock,
+        extensions: Dict[EventId, InstanceBlock],
     ) -> bool:
-        """Decide whether the current frequent pattern is part of the output."""
+        """Decide whether the current frequent pattern is part of the output.
+
+        ``node`` is the search node's shared alphabet cache; its ``pattern``
+        attribute is the pattern under test.
+        """
         raise NotImplementedError
 
     # ------------------------------------------------------------------ #
@@ -169,20 +191,27 @@ class IterativePatternMinerBase:
         self,
         context: PatternSearchContext,
         pattern: Tuple[EventId, ...],
-        instances: List[PatternInstance],
+        block: InstanceBlock,
         records: List[PatternRecord],
         stats: MiningStats,
+        node: AlphabetIndex,
     ) -> None:
         encoded = context.encoded
         index = context.index
         stats.visited += 1
 
-        extensions = forward_extensions(encoded, index, pattern, instances)
+        # ``node`` is this search node's shared boundary cache: every
+        # projection and closure query reuses the same frozenset(pattern)
+        # and merged alphabet-occurrence lists, derived incrementally from
+        # the parent node's cache.
+        extensions = forward_extensions_block(encoded, index, node, block)
+        for extension_block in extensions.values():
+            stats.instances_materialized += len(extension_block)
 
-        if self._should_emit(encoded, index, pattern, instances, extensions):
+        if self._should_emit(encoded, index, node, block, extensions):
             stats.emitted += 1
-            kept = tuple(instances) if self.config.collect_instances else ()
-            records.append(PatternRecord(pattern, len(instances), kept))
+            kept = block if self.config.collect_instances else None
+            records.append(PatternRecord(pattern, len(block), kept))
         else:
             stats.pruned_closure += 1
 
@@ -194,25 +223,27 @@ class IterativePatternMinerBase:
 
         explore = sorted(extensions)
         if self.config.adjacent_absorption_pruning:
-            absorbed = self._adjacent_absorbing_event(encoded, instances)
+            absorbed = self._adjacent_absorbing_event(encoded, block)
             if (
                 absorbed is not None
                 and absorbed in extensions
-                and len(extensions[absorbed]) == len(instances)
+                and len(extensions[absorbed]) == len(block)
             ):
                 stats.bump("absorption_pruned_branches", len(extensions) - 1)
                 explore = [absorbed]
 
         for event in explore:
-            extension_instances = extensions[event]
-            if len(extension_instances) < context.min_support:
+            extension_block = extensions[event]
+            if len(extension_block) < context.min_support:
                 stats.pruned_support += 1
                 continue
-            self._grow(context, pattern + (event,), extension_instances, records, stats)
+            self._grow(
+                context, pattern + (event,), extension_block, records, stats, node.extend(event)
+            )
 
     @staticmethod
     def _adjacent_absorbing_event(
-        encoded: EncodedDatabase, instances: List[PatternInstance]
+        encoded: EncodedDatabase, block: InstanceBlock
     ) -> "EventId | None":
         """The event immediately following *every* instance, if one exists.
 
@@ -222,14 +253,17 @@ class IterativePatternMinerBase:
         ``IterativeMiningConfig.adjacent_absorption_pruning``).
         """
         absorbing: "EventId | None" = None
-        for instance in instances:
-            sequence = encoded[instance.sequence_index]
-            next_position = instance.end + 1
-            if next_position >= len(sequence):
-                return None
-            event = sequence[next_position]
-            if absorbing is None:
-                absorbing = event
-            elif absorbing != event:
-                return None
+        ends = block.ends
+        for sid, lo, hi in block.groups():
+            sequence = encoded[sid]
+            sequence_len = len(sequence)
+            for row in range(lo, hi):
+                next_position = ends[row] + 1
+                if next_position >= sequence_len:
+                    return None
+                event = sequence[next_position]
+                if absorbing is None:
+                    absorbing = event
+                elif absorbing != event:
+                    return None
         return absorbing

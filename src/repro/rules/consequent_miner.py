@@ -12,6 +12,13 @@ the space of consequents depth-first.  Two facts drive the search:
   end of ``pre ++ post``; maintaining that end per sequence turns i-support
   into a couple of binary searches per extension.
 
+The alive temporal points of each search node are held as three parallel
+``array('i')`` columns (sequence, point position, current greedy match
+position) rather than a list of triples: expanding a node appends machine
+ints to its children's columns, so the hottest rule-mining loop allocates
+no per-point tuples while preserving the exact iteration order (and hence
+bit-identical output) of the tuple-based implementation.
+
 The grower serves both miners: the non-redundant miner additionally asks it
 to suppress rules *dominated* by one of their own single-event consequent
 extensions (same i-support and confidence — redundant by Definition 5.2).
@@ -19,10 +26,12 @@ extensions (same i-support and confidence — redundant by Definition 5.2).
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence as TypingSequence, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
+from ..core.blocks import BLOCK_TYPECODE, PositionBlock
 from ..core.events import EncodedDatabase, EventId
 from ..core.positions import PositionIndex
 from ..core.stats import MiningStats
@@ -40,16 +49,36 @@ class GrownRule:
     confidence: float
 
 
-@dataclass
 class _SearchNode:
-    """Mutable state for one consequent in the depth-first search."""
+    """Mutable state for one consequent in the depth-first search.
 
-    consequent: Tuple[EventId, ...]
-    # (sequence_index, temporal point position, current greedy match position)
-    alive_points: List[Tuple[int, int, int]]
-    # sequence_index -> earliest embedding end of premise ++ consequent
-    full_pattern_end: Dict[int, int]
-    i_support: int
+    ``point_seqs`` / ``point_positions`` / ``match_positions`` are parallel
+    columns over the alive temporal points: the point's sequence, the
+    temporal point position itself, and the current greedy match position of
+    the consequent after that point.
+    """
+
+    __slots__ = ("consequent", "point_seqs", "point_positions", "match_positions",
+                 "full_pattern_end", "i_support")
+
+    def __init__(
+        self,
+        consequent: Tuple[EventId, ...],
+        point_seqs: array,
+        point_positions: array,
+        match_positions: array,
+        full_pattern_end: Dict[int, int],
+        i_support: int,
+    ) -> None:
+        self.consequent = consequent
+        self.point_seqs = point_seqs
+        self.point_positions = point_positions
+        self.match_positions = match_positions
+        self.full_pattern_end = full_pattern_end
+        self.i_support = i_support
+
+    def alive_count(self) -> int:
+        return len(self.point_seqs)
 
 
 class ConsequentGrower:
@@ -60,7 +89,7 @@ class ConsequentGrower:
         encoded_db: EncodedDatabase,
         index: PositionIndex,
         premise: Tuple[EventId, ...],
-        premise_projections: TypingSequence[Tuple[int, int]],
+        premise_projections: PositionBlock,
         config: RuleMiningConfig,
         stats: Optional[MiningStats] = None,
     ) -> None:
@@ -71,12 +100,16 @@ class ConsequentGrower:
         self.stats = stats if stats is not None else MiningStats()
 
         self.s_support = len(premise_projections)
-        self._points: List[Tuple[int, int]] = []
+        point_seqs = array(BLOCK_TYPECODE)
+        point_positions = array(BLOCK_TYPECODE)
         for sequence_index, _ in premise_projections:
             sequence = encoded_db[sequence_index]
             for position in temporal_points_in_sequence(sequence, premise):
-                self._points.append((sequence_index, position))
-        self.total_points = len(self._points)
+                point_seqs.append(sequence_index)
+                point_positions.append(position)
+        self._point_seqs = point_seqs
+        self._point_positions = point_positions
+        self.total_points = len(point_seqs)
         self._root_full_end: Dict[int, int] = {
             sequence_index: position for sequence_index, position in premise_projections
         }
@@ -97,7 +130,11 @@ class ConsequentGrower:
             return
         root = _SearchNode(
             consequent=(),
-            alive_points=[(s, p, p) for s, p in self._points],
+            point_seqs=self._point_seqs,
+            point_positions=self._point_positions,
+            # At the root the greedy match of the empty consequent sits on
+            # the temporal point itself.
+            match_positions=array(BLOCK_TYPECODE, self._point_positions),
             full_pattern_end=dict(self._root_full_end),
             i_support=0,
         )
@@ -116,10 +153,10 @@ class ConsequentGrower:
         children = {} if at_length_cap else self._expand(node)
 
         if node.consequent:
-            confidence = len(node.alive_points) / self.total_points
+            alive = node.alive_count()
+            confidence = alive / self.total_points
             dominated = skip_dominated and any(
-                child.i_support == node.i_support
-                and len(child.alive_points) == len(node.alive_points)
+                child.i_support == node.i_support and child.alive_count() == alive
                 for child in children.values()
             )
             if dominated:
@@ -140,7 +177,7 @@ class ConsequentGrower:
         for event in sorted(children):
             child = children[event]
             # Theorem 3: confidence only drops along consequent extensions.
-            if len(child.alive_points) + 1e-9 < min_alive:
+            if child.alive_count() + 1e-9 < min_alive:
                 self.stats.pruned_confidence += 1
                 continue
             yield from self._grow(child, skip_dominated)
@@ -152,7 +189,13 @@ class ConsequentGrower:
         # Confidence side: advance the greedy match of each alive temporal
         # point past every event occurring in its remaining suffix.
         scan_cache: Dict[Tuple[int, int], Dict[EventId, int]] = {}
-        for sequence_index, point, match_position in node.alive_points:
+        point_seqs = node.point_seqs
+        point_positions = node.point_positions
+        match_positions = node.match_positions
+        for row in range(len(point_seqs)):
+            sequence_index = point_seqs[row]
+            point = point_positions[row]
+            match_position = match_positions[row]
             key = (sequence_index, match_position)
             first_after = scan_cache.get(key)
             if first_after is None:
@@ -168,12 +211,16 @@ class ConsequentGrower:
                 if child is None:
                     child = _SearchNode(
                         consequent=node.consequent + (event,),
-                        alive_points=[],
+                        point_seqs=array(BLOCK_TYPECODE),
+                        point_positions=array(BLOCK_TYPECODE),
+                        match_positions=array(BLOCK_TYPECODE),
                         full_pattern_end={},
                         i_support=0,
                     )
                     children[event] = child
-                child.alive_points.append((sequence_index, point, position))
+                child.point_seqs.append(sequence_index)
+                child.point_positions.append(point)
+                child.match_positions.append(position)
 
         # i-support side: occurrences of premise ++ consequent ++ <e> are the
         # occurrences of ``e`` after the earliest embedding end of the

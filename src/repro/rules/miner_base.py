@@ -28,6 +28,7 @@ from typing import (
     Tuple,
 )
 
+from ..core.blocks import PositionBlock
 from ..core.events import EncodedDatabase, EventId
 from ..core.sequence import SequenceDatabase, absolute_support
 from ..core.stats import MiningStats
@@ -78,10 +79,10 @@ class RuleSearchContext(LazyIndexContext):
         super().__init__(encoded)
         self.min_s_support = min_s_support
         self.allowed_events = allowed_events
-        self._initial: Optional[Dict[EventId, List[Tuple[int, int]]]] = None
+        self._initial: Optional[Dict[EventId, PositionBlock]] = None
 
     @property
-    def initial(self) -> Dict[EventId, List[Tuple[int, int]]]:
+    def initial(self) -> Dict[EventId, PositionBlock]:
         if self._initial is None:
             self._initial = initial_premise_projections(self.encoded, self.allowed_events)
         return self._initial

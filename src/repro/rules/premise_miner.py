@@ -5,6 +5,14 @@ containing them as a subsequence) meets ``min_s_support``.  The search is a
 PrefixSpan-style depth-first pattern growth over earliest-position
 projections; the s-support apriori property (Theorem 2: extending a premise
 can only lower its sequence support) makes the pruning sound.
+
+Projections are kept columnar: a
+:class:`~repro.core.blocks.PositionBlock` holds one ``(sequence_index,
+end_position)`` row per supporting sequence as two flat ``array('i')``
+columns, so the growth loop iterates ints and extension lists are built by
+appending to int columns instead of allocating a tuple per sequence.
+Iterating a block yields ``(sequence_index, position)`` pairs, preserving
+the tuple-based interface for consumers.
 """
 
 from __future__ import annotations
@@ -13,12 +21,12 @@ from typing import (
     Dict,
     FrozenSet,
     Iterator,
-    List,
     NamedTuple,
     Optional,
     Tuple,
 )
 
+from ..core.blocks import PositionBlock, PositionBlockBuilder
 from ..core.events import EncodedDatabase, EventId
 from ..core.stats import MiningStats
 
@@ -27,35 +35,40 @@ class MinedPremise(NamedTuple):
     """A premise candidate: the pattern, its s-support and its projections.
 
     ``projections`` maps each supporting sequence index to the end position
-    of the earliest embedding of the premise in that sequence; the consequent
-    grower reuses it to seed the i-support recurrence.
+    of the earliest embedding of the premise in that sequence (columnar,
+    one row per sequence, ascending); the consequent grower reuses it to
+    seed the i-support recurrence.
     """
 
     pattern: Tuple[EventId, ...]
     s_support: int
-    projections: Tuple[Tuple[int, int], ...]
+    projections: PositionBlock
 
 
 def initial_premise_projections(
     encoded_db: EncodedDatabase,
     allowed_events: Optional[FrozenSet[EventId]] = None,
-) -> Dict[EventId, List[Tuple[int, int]]]:
+) -> Dict[EventId, PositionBlock]:
     """Earliest-occurrence projections of every single-event premise.
 
-    Maps each (allowed) event to ``(sequence_index, position)`` pairs, one
-    per sequence containing it, pointing at its earliest occurrence.  This
-    is the root level of the premise search; the parallel engine computes
-    it once to plan shards and workers reuse it to seed their subtrees.
+    Maps each (allowed) event to a :class:`PositionBlock` of
+    ``(sequence_index, position)`` rows, one per sequence containing it,
+    pointing at its earliest occurrence.  This is the root level of the
+    premise search; the parallel engine computes it once to plan shards and
+    workers reuse it to seed their subtrees.
     """
-    initial: Dict[EventId, List[Tuple[int, int]]] = {}
+    builders: Dict[EventId, PositionBlockBuilder] = {}
     for sequence_index, sequence in enumerate(encoded_db):
         seen: Dict[EventId, int] = {}
         for position, event in enumerate(sequence):
             if event not in seen and (allowed_events is None or event in allowed_events):
                 seen[event] = position
         for event, position in seen.items():
-            initial.setdefault(event, []).append((sequence_index, position))
-    return initial
+            builder = builders.get(event)
+            if builder is None:
+                builder = builders[event] = PositionBlockBuilder()
+            builder.append(sequence_index, position)
+    return {event: builder.build() for event, builder in builders.items()}
 
 
 class PremiseMiner:
@@ -90,7 +103,7 @@ class PremiseMiner:
         self,
         encoded_db: EncodedDatabase,
         event: EventId,
-        projections: List[Tuple[int, int]],
+        projections: PositionBlock,
     ) -> Iterator[MinedPremise]:
         """Yield the s-frequent premises of one root's subtree, depth-first.
 
@@ -104,30 +117,40 @@ class PremiseMiner:
         self,
         encoded_db: EncodedDatabase,
         pattern: Tuple[EventId, ...],
-        projections: List[Tuple[int, int]],
+        projections: PositionBlock,
     ) -> Iterator[MinedPremise]:
         self.stats.visited += 1
-        yield MinedPremise(pattern, len(projections), tuple(projections))
+        yield MinedPremise(pattern, len(projections), projections)
 
         if self.max_length is not None and len(pattern) >= self.max_length:
             return
 
         # Scan the projected suffixes once, recording for every candidate
         # extension event its earliest position after the current embedding.
-        extensions: Dict[EventId, List[Tuple[int, int]]] = {}
-        for sequence_index, position in projections:
+        # Projections keep their rows in ascending sequence order, so the
+        # extension columns come out ascending as well.
+        extensions: Dict[EventId, PositionBlockBuilder] = {}
+        seq_ids = projections.seq_ids
+        positions = projections.positions
+        allowed = self.allowed_events
+        for row in range(len(seq_ids)):
+            sequence_index = seq_ids[row]
+            position = positions[row]
             sequence = encoded_db[sequence_index]
             seen: Dict[EventId, int] = {}
             for next_position in range(position + 1, len(sequence)):
                 event = sequence[next_position]
-                if event not in seen and self._is_allowed(event):
+                if event not in seen and (allowed is None or event in allowed):
                     seen[event] = next_position
             for event, next_position in seen.items():
-                extensions.setdefault(event, []).append((sequence_index, next_position))
+                builder = extensions.get(event)
+                if builder is None:
+                    builder = extensions[event] = PositionBlockBuilder()
+                builder.append(sequence_index, next_position)
 
         for event in sorted(extensions):
             extended_projections = extensions[event]
             if len(extended_projections) < self.min_s_support:
                 self.stats.pruned_support += 1
                 continue
-            yield from self._grow(encoded_db, pattern + (event,), extended_projections)
+            yield from self._grow(encoded_db, pattern + (event,), extended_projections.build())

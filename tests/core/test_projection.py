@@ -79,6 +79,28 @@ def test_backward_extension_instance():
     assert backward_extension_instance(index, (0, 1), instance, 7) is None
 
 
+def test_backward_extension_instance_with_alphabet_event():
+    # ``1`` is in the pattern alphabet and its last occurrence before the
+    # instance start coincides with the last alphabet occurrence; that
+    # position is a valid backward extension (the pattern repeats it).
+    db = _encode([[0, 1, 0, 1]])
+    index = PositionIndex(db)
+    instance = PatternInstance(0, 2, 3)  # instance of (0, 1) starting at 2
+    extended = backward_extension_instance(index, (0, 1), instance, 1)
+    assert extended == PatternInstance(0, 1, 3)
+    # The oracle agrees: <1, 0, 1> has exactly that instance.
+    assert find_instances(db, (1, 0, 1)) == [PatternInstance(0, 1, 3)]
+
+
+def test_backward_extension_instance_blocked_by_later_alphabet_event():
+    # The last occurrence of ``2`` before the start is separated from the
+    # instance by a later alphabet event, so no backward extension exists.
+    db = _encode([[2, 0, 1, 0, 1]])
+    index = PositionIndex(db)
+    instance = PatternInstance(0, 3, 4)  # second instance of (0, 1)
+    assert backward_extension_instance(index, (0, 1), instance, 2) is None
+
+
 def test_backward_extension_events_full_coverage():
     # Event 9 immediately precedes every instance of (0, 1).
     db = _encode([[9, 0, 1], [3, 9, 0, 5, 1]])
