@@ -20,12 +20,14 @@ transfer volume: the pickle size of the mined instance lists in tuple form
 vs. block form, plus the engine's own ``instances_materialized`` /
 ``shipped_bytes`` counters from a real miner run.
 
-Results go to ``benchmarks/results/hot_paths.txt`` (human-readable) and to
-``BENCH_hot_paths.json`` at the repository root — stable, before/after
-comparable fields so the perf trajectory of this hot loop is recorded PR
-over PR.  The ≥3x assertion fires when ``REPRO_REQUIRE_SPEEDUP=1`` or when
-the baseline run is long enough to measure reliably; tiny smoke scales
-still verify bit-identity.
+Results go to ``benchmarks/results/hot_paths.txt`` (human-readable) and are
+*appended* as one run record to the ``BENCH_hot_paths.json`` trajectory at
+the repository root — stable, before/after comparable fields so the perf
+history of this hot loop accumulates PR over PR (the regression gate in
+``check_bench_regression.py`` compares the newest record to its
+predecessor).  The ≥3x assertion fires when ``REPRO_REQUIRE_SPEEDUP=1`` or
+when the baseline run is long enough to measure reliably; tiny smoke
+scales still verify bit-identity.
 
 Scale with ``REPRO_HOTPATH_SCALE`` (default 1.0; the default workload runs
 in a few seconds on a laptop).
@@ -33,7 +35,6 @@ in a few seconds on a laptop).
 
 from __future__ import annotations
 
-import json
 import os
 import pickle
 import random
@@ -53,7 +54,7 @@ from repro.patterns.closure import is_closed, is_closed_block
 from repro.patterns.closed_miner import ClosedIterativePatternMiner
 from repro.patterns.config import IterativeMiningConfig
 
-from conftest import write_result
+from conftest import append_bench_record, write_result
 
 SCALE = float(os.environ.get("REPRO_HOTPATH_SCALE", "1.0"))
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -221,7 +222,6 @@ def bench_hot_paths(benchmark):
     mined = miner.mine(database)
     assert len(mined.patterns) == len(tuple_result)
 
-    JSON_PATH.parent.mkdir(exist_ok=True)
     payload = {
         "benchmark": "hot_paths",
         "workload": {
@@ -233,6 +233,7 @@ def bench_hot_paths(benchmark):
             "min_support": min_support,
             "max_pattern_length": MAX_PATTERN_LENGTH,
             "scale": SCALE,
+            "host_cpus": os.cpu_count(),
         },
         "growth_loop": growth,
         "closed_loop": closed,
@@ -246,8 +247,12 @@ def bench_hot_paths(benchmark):
             "emitted": mined.stats.emitted,
             "elapsed_seconds": round(mined.stats.elapsed_seconds, 4),
         },
+        # The optimised-path cost the regression gate watches.
+        "wall_clock_seconds": round(
+            growth["block_seconds"] + closed["block_seconds"], 4
+        ),
     }
-    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    append_bench_record(JSON_PATH, payload)
 
     lines = [
         f"workload: {len(sequences)} sequences, {total_events} events, "

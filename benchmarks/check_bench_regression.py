@@ -1,0 +1,107 @@
+"""Wall-clock regression gate over the benchmark trajectory files.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py [paths...] [--max-regression 0.2]
+
+Each path is a JSON trajectory file (a list of run records, as written by
+``append_bench_record``; the legacy single-object PR 2 format counts as a
+one-record trajectory).  Records are grouped by benchmark name, scale,
+workload shape (sequence/event counts) and host CPU count, so smoke runs
+never get compared against canonical-scale history, a redesigned workload
+starts a fresh lineage, and a record committed from a very different
+machine class does not read as a regression.  Within each group the
+*newest* record's ``wall_clock_seconds`` is compared against its
+predecessor: more than ``--max-regression`` (default 20%) slower fails
+the gate.  Groups with fewer than two comparable records pass trivially —
+the gate only ever compares like with like.
+
+Exit status: 0 when every comparison passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+DEFAULT_MAX_REGRESSION = 0.2
+
+
+def load_records(path: Path) -> List[Dict]:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    return payload if isinstance(payload, list) else [payload]
+
+
+def group_key(record: Dict) -> Tuple[str, float, int, int, int]:
+    workload = record.get("workload", {})
+    return (
+        record.get("benchmark", "unknown"),
+        float(workload.get("scale", 1.0)),
+        int(workload.get("sequences", 0)),
+        int(workload.get("events", 0)),
+        int(workload.get("host_cpus", 0)),
+    )
+
+
+def check_file(path: Path, max_regression: float) -> List[str]:
+    """Return a list of failure messages for one trajectory file."""
+    failures: List[str] = []
+    groups: Dict[Tuple[str, float], List[Dict]] = {}
+    for record in load_records(path):
+        if "wall_clock_seconds" not in record:
+            continue  # legacy records predate the gate field
+        groups.setdefault(group_key(record), []).append(record)
+    for (benchmark, scale, _, _, _), records in sorted(groups.items()):
+        if len(records) < 2:
+            continue
+        previous = float(records[-2]["wall_clock_seconds"])
+        latest = float(records[-1]["wall_clock_seconds"])
+        if previous <= 0:
+            continue
+        change = latest / previous - 1.0
+        verdict = "FAIL" if change > max_regression else "ok"
+        print(
+            f"{path}: {benchmark}@scale={scale}: "
+            f"{previous:.3f}s -> {latest:.3f}s ({change:+.1%}) [{verdict}]"
+        )
+        if change > max_regression:
+            failures.append(
+                f"{benchmark}@scale={scale} in {path}: wall clock regressed "
+                f"{change:+.1%} ({previous:.3f}s -> {latest:.3f}s), "
+                f"limit is +{max_regression:.0%}"
+            )
+    return failures
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["BENCH_hot_paths.json"],
+        help="trajectory JSON files to check (missing files are skipped)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        help="maximum tolerated fractional wall-clock increase (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+    failures: List[str] = []
+    for raw_path in args.paths:
+        path = Path(raw_path)
+        if not path.exists():
+            print(f"{path}: no trajectory file, skipping")
+            continue
+        failures.extend(check_file(path, args.max_regression))
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

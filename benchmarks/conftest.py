@@ -10,8 +10,10 @@ pytest's capture.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
+from typing import Dict
 
 import pytest
 
@@ -34,6 +36,24 @@ def write_result(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
     print(f"\n=== {name} ===\n{text}\n")
+
+
+def append_bench_record(json_path: Path, record: Dict) -> None:
+    """Append one run record to a JSON trajectory file.
+
+    The file holds a list of records — the perf trajectory PR over PR, not
+    just the latest run — so regressions are visible in history and the
+    regression gate (``check_bench_regression.py``) can compare the newest
+    record against its predecessor.  A legacy single-object file (the PR 2
+    format) is adopted as the trajectory's first record.
+    """
+    records = []
+    if json_path.exists():
+        existing = json.loads(json_path.read_text(encoding="utf-8"))
+        records = existing if isinstance(existing, list) else [existing]
+    records.append(record)
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    json_path.write_text(json.dumps(records, indent=2) + "\n", encoding="utf-8")
 
 
 @pytest.fixture(scope="session")

@@ -117,14 +117,22 @@ def _add_engine_arguments(subparser: argparse.ArgumentParser) -> None:
         "--backend",
         choices=BACKEND_CHOICES,
         default="auto",
-        help="execution backend; 'auto' goes parallel when --workers > 1",
+        help="execution backend; 'auto' goes parallel when --workers > 1, "
+        "'stealing' adds dynamic subtree splitting for skewed databases",
+    )
+    subparser.add_argument(
+        "--split-depth",
+        type=_positive_int,
+        default=None,
+        help="stealing backend only: maximum search depth at which frontier "
+        "nodes may still be split into stealable units (default 8)",
     )
 
 
 def _resolve_backend_or_none(args: argparse.Namespace) -> Optional[ExecutionBackend]:
-    """Resolve --backend/--workers, printing a CLI error on contradiction."""
+    """Resolve --backend/--workers/--split-depth, printing a CLI error on contradiction."""
     try:
-        return resolve_backend(args.backend, args.workers)
+        return resolve_backend(args.backend, args.workers, args.split_depth)
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
         return None

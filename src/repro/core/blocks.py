@@ -26,12 +26,19 @@ oracle in :mod:`repro.core.instances`).
 :class:`PositionBlock` is the rule-mining sibling: flat ``(sequence,
 position)`` columns used for premise projections and temporal points, where
 each row is a single position rather than a span.
+
+:class:`WireInstanceBlock` is the shard *wire form* of an instance block:
+because an instance is uniquely determined by its start position, the
+``ends`` column is redundant on the worker-to-coordinator boundary — the
+coordinator re-derives it by walking the pattern forward from each start.
+Converting to wire form shares the remaining columns (zero copy), so
+dropping ``ends`` shrinks the shipped payload by the whole column.
 """
 
 from __future__ import annotations
 
 from array import array
-from typing import Iterable, Iterator, List, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from .instances import PatternInstance
 
@@ -139,10 +146,106 @@ class InstanceBlock:
             + len(self.ends) * self.ends.itemsize
         )
 
+    def to_wire(self) -> "WireInstanceBlock":
+        """The wire form of this block: ``ends`` stays behind on pickling.
+
+        Shares every column with this block (no copy), including ``ends``
+        for free same-process decoding; only a pickle crossing drops the
+        ends column, and the coordinator then reconstructs it from the
+        pattern — see :meth:`WireInstanceBlock.to_block`.
+        """
+        return WireInstanceBlock(self.seq_ids, self.offsets, self.starts, self.ends)
+
     # arrays pickle as compact buffers already; the default reduce of a
     # __slots__ class handles the rest.
     def __reduce__(self):
         return (InstanceBlock, (self.seq_ids, self.offsets, self.starts, self.ends))
+
+
+class WireInstanceBlock:
+    """An instance block whose derivable ``ends`` column stays off the wire.
+
+    This is what pattern records ship across the worker-to-coordinator
+    boundary.  In-process the block keeps a reference to the original
+    ``ends`` column (free — the columns are shared, not copied), so a
+    serial run decodes instances without any recomputation; pickling
+    detaches it (see ``__reduce__``), and only then does reconstruction
+    happen, on the coordinator.  Reconstruction relies on the QRE instance
+    semantics: from a valid instance start, each subsequent pattern
+    event's match position is that event's *first* occurrence after the
+    previous match (any earlier alphabet event would invalidate the
+    instance), so a forward walk over the sequence recovers the end
+    position exactly.
+    """
+
+    __slots__ = ("seq_ids", "offsets", "starts", "ends")
+
+    def __init__(
+        self,
+        seq_ids: array,
+        offsets: array,
+        starts: array,
+        ends: Optional[array] = None,
+    ) -> None:
+        self.seq_ids = seq_ids
+        self.offsets = offsets
+        self.starts = starts
+        self.ends = ends
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    def __bool__(self) -> bool:
+        return len(self.starts) > 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WireInstanceBlock):
+            return NotImplemented
+        return (
+            self.seq_ids == other.seq_ids
+            and self.offsets == other.offsets
+            and self.starts == other.starts
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"WireInstanceBlock(rows={len(self)}, sequences={len(self.seq_ids)})"
+
+    def nbytes(self) -> int:
+        """Size of the buffers that cross the wire (``ends`` never does)."""
+        return (
+            len(self.seq_ids) * self.seq_ids.itemsize
+            + len(self.offsets) * self.offsets.itemsize
+            + len(self.starts) * self.starts.itemsize
+        )
+
+    def to_block(self, encoded_db, pattern) -> InstanceBlock:
+        """The full :class:`InstanceBlock`: reattach or rebuild ``ends``."""
+        if self.ends is not None:
+            return InstanceBlock(self.seq_ids, self.offsets, self.starts, self.ends)
+        tail = tuple(pattern)[1:]
+        starts = self.starts
+        offsets = self.offsets
+        seq_ids = self.seq_ids
+        ends = _int_array()
+        for group in range(len(seq_ids)):
+            sequence = encoded_db[seq_ids[group]]
+            for row in range(offsets[group], offsets[group + 1]):
+                position = starts[row]
+                for event in tail:
+                    position += 1
+                    while sequence[position] != event:
+                        position += 1
+                ends.append(position)
+        return InstanceBlock(seq_ids, offsets, starts, ends)
+
+    def to_tuple(self, encoded_db, pattern) -> Tuple[PatternInstance, ...]:
+        """Materialise the rows as :class:`PatternInstance` tuples."""
+        return self.to_block(encoded_db, pattern).to_tuple()
+
+    # Pickling detaches the ends column — that is the whole point of the
+    # wire form; the receiving side reconstructs on demand.
+    def __reduce__(self):
+        return (WireInstanceBlock, (self.seq_ids, self.offsets, self.starts))
 
 
 class BlockBuilder:

@@ -420,6 +420,173 @@ def _new_entry() -> list:
             starts, ends, seq_ids, offsets]
 
 
+def singleton_block_of(index: PositionIndex, event: EventId) -> InstanceBlock:
+    """The instance block of the single-event pattern ``<event>``.
+
+    Unlike :func:`singleton_blocks` this builds one event's block straight
+    from the position index instead of scanning the database, so callers
+    that need a single root (work-unit replay, the infix oracle) pay only
+    for the rows they use.
+    """
+    seq_ids = array(BLOCK_TYPECODE)
+    offsets = array(BLOCK_TYPECODE)
+    starts = array(BLOCK_TYPECODE)
+    for sequence_index in range(len(index)):
+        occurrences = index[sequence_index].positions_of(event)
+        if not occurrences:
+            continue
+        seq_ids.append(sequence_index)
+        offsets.append(len(starts))
+        starts.extend(occurrences)
+    offsets.append(len(starts))
+    return InstanceBlock(seq_ids, offsets, starts, array(BLOCK_TYPECODE, starts))
+
+
+def project_extension_block(
+    encoded_db: EncodedDatabase,
+    index: PositionIndex,
+    node: AlphabetIndex,
+    block: InstanceBlock,
+    event: EventId,
+) -> InstanceBlock:
+    """Instances of ``node.pattern ++ <event>`` derived from ``block`` alone.
+
+    The single-event restriction of :func:`forward_extensions_block` —
+    row-identical to ``forward_extensions_block(...)[event]`` (and to the
+    empty block when the event yields no extension) but without touching
+    any other extension event: each instance costs a couple of binary
+    searches instead of a window scan.  Used by the work-stealing replay
+    path, where only one extension event is ever of interest;
+    :func:`project_rows_in_sequence` applies the identical per-row rule
+    sequence-locally for the infix-closure oracle — keep the two in
+    lockstep.
+    """
+    out_seq_ids = array(BLOCK_TYPECODE)
+    out_offsets = array(BLOCK_TYPECODE)
+    out_starts = array(BLOCK_TYPECODE)
+    out_ends = array(BLOCK_TYPECODE)
+    in_alphabet = event in node.alphabet
+    starts = block.starts
+    ends = block.ends
+    seq_ids = block.seq_ids
+    offsets = block.offsets
+    for group in range(len(seq_ids)):
+        sid = seq_ids[group]
+        sequence = encoded_db[sid]
+        sequence_len = len(sequence)
+        merged = node.merged(sid)
+        merged_len = len(merged)
+        occurrences = index[sid].positions_of(event)
+        if not in_alphabet and not occurrences:
+            continue
+        group_open = False
+        lo = offsets[group]
+        hi = offsets[group + 1]
+        for start, end in zip(starts[lo:hi], ends[lo:hi]):
+            if in_alphabet:
+                # The extension repeats an alphabet event: the only valid
+                # target is the first alphabet occurrence after the end.
+                after = end + 1
+                if after < sequence_len and sequence[after] in node.alphabet:
+                    boundary = after
+                else:
+                    cursor = bisect_right(merged, end)
+                    if cursor == merged_len:
+                        continue
+                    boundary = merged[cursor]
+                if sequence[boundary] != event:
+                    continue
+                target = boundary
+            else:
+                cut = bisect_right(occurrences, end)
+                if cut == len(occurrences):
+                    continue
+                target = occurrences[cut]
+                # No alphabet event may sit between the end and the target.
+                cursor = bisect_right(merged, end)
+                if cursor < merged_len and merged[cursor] < target:
+                    continue
+                # Gap check: the event must not occur inside (start, end).
+                if end - start > 1:
+                    gap_cursor = bisect_right(occurrences, start)
+                    if gap_cursor < len(occurrences) and occurrences[gap_cursor] < end:
+                        continue
+            if not group_open:
+                out_seq_ids.append(sid)
+                out_offsets.append(len(out_starts))
+                group_open = True
+            out_starts.append(start)
+            out_ends.append(target)
+    out_offsets.append(len(out_starts))
+    return InstanceBlock(out_seq_ids, out_offsets, out_starts, out_ends)
+
+
+def project_rows_in_sequence(
+    sequence: TypingSequence[EventId],
+    table: Dict[EventId, List[int]],
+    nodes: List[AlphabetIndex],
+    pattern: Tuple[EventId, ...],
+    sequence_index: int,
+    first_rows: List[Tuple[int, int]],
+) -> List[Tuple[int, int]]:
+    """Exact instance spans of ``pattern`` in one sequence, chained.
+
+    The per-sequence, multi-step sibling of :func:`project_extension_block`
+    — each step applies the identical per-row extension rule (in-alphabet
+    boundary fast path, merged-list boundary bisect, no-alphabet-between
+    check, gap pre-filter); keep the two in lockstep.  ``nodes[k]`` is the
+    :class:`AlphabetIndex` of ``pattern[:k + 1]``; ``first_rows`` seeds
+    the chain (the spans of some prefix of ``pattern``, usually its first
+    event's occurrences).  The closed miner's infix-closure oracle drives
+    this sequence by sequence so a failing candidate aborts at its first
+    mismatching sequence; a property test pins it against
+    :func:`project_extension_block` step for step.
+    """
+    rows = first_rows
+    sequence_len = len(sequence)
+    for k in range(len(nodes) - 1):
+        if not rows:
+            break
+        node = nodes[k]
+        event = pattern[k + 1]
+        merged = node.merged(sequence_index)
+        merged_len = len(merged)
+        alphabet = node.alphabet
+        in_alphabet = event in alphabet
+        occurrences = table.get(event, [])
+        if not in_alphabet and not occurrences:
+            return []
+        new_rows: List[Tuple[int, int]] = []
+        for start, end in rows:
+            if in_alphabet:
+                after = end + 1
+                if after < sequence_len and sequence[after] in alphabet:
+                    boundary = after
+                else:
+                    cursor = bisect_right(merged, end)
+                    if cursor == merged_len:
+                        continue
+                    boundary = merged[cursor]
+                if sequence[boundary] != event:
+                    continue
+                target = boundary
+            else:
+                cut = bisect_right(occurrences, end)
+                if cut == len(occurrences):
+                    continue
+                target = occurrences[cut]
+                cursor = bisect_right(merged, end)
+                if cursor < merged_len and merged[cursor] < target:
+                    continue
+                if end - start > 1:
+                    gap_cursor = bisect_right(occurrences, start)
+                    if gap_cursor < len(occurrences) and occurrences[gap_cursor] < end:
+                        continue
+            new_rows.append((start, target))
+        rows = new_rows
+    return rows
+
+
 def backward_extension_events_block(
     encoded_db: EncodedDatabase,
     index: PositionIndex,

@@ -30,8 +30,17 @@ from .sharding import (
     RootResult,
     Shard,
     ShardOutcome,
+    UnitOutcome,
+    WorkUnit,
     merge_outcomes,
     plan_shards,
+)
+from .stealing import (
+    DEFAULT_SPLIT_DEPTH,
+    NULL_SPLITTER,
+    NullSplitter,
+    StealSplitter,
+    WorkStealingBackend,
 )
 
 __all__ = [
@@ -39,6 +48,7 @@ __all__ = [
     "ExecutionBackend",
     "ProcessPoolBackend",
     "SerialBackend",
+    "WorkStealingBackend",
     "resolve_backend",
     "run_sharded",
     "LazyIndexContext",
@@ -48,6 +58,12 @@ __all__ = [
     "RootResult",
     "Shard",
     "ShardOutcome",
+    "UnitOutcome",
+    "WorkUnit",
     "merge_outcomes",
     "plan_shards",
+    "DEFAULT_SPLIT_DEPTH",
+    "NULL_SPLITTER",
+    "NullSplitter",
+    "StealSplitter",
 ]

@@ -1,8 +1,8 @@
-"""Execution backends: where and how shards of mining work actually run.
+"""Execution backends: where and how the mining search actually runs.
 
-The miners hand a :class:`~repro.engine.runner.ShardRunner` and a list of
-shards to a backend and get per-shard outcomes back, in shard order.  Two
-backends ship:
+A backend's :meth:`ExecutionBackend.execute` owns the whole plan → run →
+merge pipeline for one :class:`~repro.engine.runner.ShardRunner`.  This
+module ships the two statically planned backends:
 
 * :class:`SerialBackend` — run every shard in the current process.  This is
   the default and the reference semantics; with ``max_shards=1`` (the
@@ -12,9 +12,14 @@ backends ship:
   to each worker once through the pool initializer; workers rebuild their
   ``PositionIndex`` cache once and reuse it across all their shards.
 
-Because the merge step reorders results by root id (see
-:func:`~repro.engine.sharding.merge_outcomes`), both backends produce
-bit-identical mining results — parallelism only changes wall-clock time.
+:class:`~repro.engine.stealing.WorkStealingBackend` (its own module) adds
+the adaptive third option: dynamic subtree splitting over a shared work
+queue for skewed databases.
+
+Because the merge step is deterministic — sorted root id on the shard
+path (:func:`~repro.engine.sharding.merge_outcomes`), sorted record keys
+on the stealing path — every backend produces bit-identical mining
+results; parallelism only changes wall-clock time.
 """
 
 from __future__ import annotations
@@ -50,9 +55,30 @@ def _execute_shard(shard: Shard) -> ShardOutcome:
 
 
 class ExecutionBackend:
-    """Strategy interface for running planned shards."""
+    """Strategy interface for executing a miner's root-parallel search.
+
+    ``execute`` owns the whole plan → run → merge pipeline.  The default
+    implementation is the static path: pack the planned roots into LPT
+    shards, run them through :meth:`map_shards`, and reassemble by sorted
+    root id.  Backends with their own scheduling discipline (the
+    work-stealing backend) override ``execute`` outright and never touch
+    the shard machinery.
+    """
 
     name = "abstract"
+
+    def execute(self, runner: ShardRunner) -> Tuple[List[Any], MiningStats]:
+        """Plan, execute and merge the search; return (records, counters)."""
+        plan = runner.plan()
+        if not plan.roots:
+            stats = MiningStats()
+            stats.pruned_support += plan.pruned_support
+            return [], stats
+        shards = plan_shards(plan.roots, self.shard_count(len(plan.roots)))
+        outcomes = self.map_shards(runner, shards)
+        records, stats = merge_outcomes(outcomes)
+        stats.pruned_support += plan.pruned_support
+        return records, stats
 
     def shard_count(self, num_roots: int) -> int:
         """How many shards to split ``num_roots`` roots into."""
@@ -135,7 +161,9 @@ class ProcessPoolBackend(ExecutionBackend):
 
 
 def resolve_backend(
-    name: Optional[str] = None, workers: Optional[int] = None
+    name: Optional[str] = None,
+    workers: Optional[int] = None,
+    split_depth: Optional[int] = None,
 ) -> ExecutionBackend:
     """Build a backend from CLI-style ``--backend`` / ``--workers`` values.
 
@@ -143,8 +171,21 @@ def resolve_backend(
     one worker is requested and the serial backend otherwise, so plain
     ``--workers 4`` is enough to go parallel.  Asking for the serial
     backend *and* multiple workers is contradictory and rejected rather
-    than silently ignoring the worker count.
+    than silently ignoring the worker count; likewise ``split_depth`` only
+    means something to the work-stealing backend.
     """
+    # Imported here: stealing builds on this module's ExecutionBackend.
+    from .stealing import DEFAULT_SPLIT_DEPTH, WorkStealingBackend
+
+    if split_depth is not None and name != "stealing":
+        raise ConfigurationError(
+            f"--split-depth only applies to the 'stealing' backend, not {name!r}"
+        )
+    if name == "stealing":
+        return WorkStealingBackend(
+            workers=workers,
+            split_depth=split_depth if split_depth is not None else DEFAULT_SPLIT_DEPTH,
+        )
     if name is None or name == "auto":
         if workers is not None and workers > 1:
             return ProcessPoolBackend(workers=workers)
@@ -159,7 +200,8 @@ def resolve_backend(
     if name == "process":
         return ProcessPoolBackend(workers=workers)
     raise ConfigurationError(
-        f"unknown execution backend {name!r} (expected 'serial', 'process' or 'auto')"
+        f"unknown execution backend {name!r} "
+        "(expected 'serial', 'process', 'stealing' or 'auto')"
     )
 
 
@@ -171,19 +213,11 @@ def run_sharded(
 
     Returns the mined records in canonical serial order together with the
     summed search counters (including root-level support pruning from the
-    planning step).
+    planning step).  Kept as a thin wrapper for backward compatibility;
+    the pipeline lives in :meth:`ExecutionBackend.execute`.
     """
-    plan = runner.plan()
-    if not plan.roots:
-        stats = MiningStats()
-        stats.pruned_support += plan.pruned_support
-        return [], stats
-    shards = plan_shards(plan.roots, backend.shard_count(len(plan.roots)))
-    outcomes = backend.map_shards(runner, shards)
-    records, stats = merge_outcomes(outcomes)
-    stats.pruned_support += plan.pruned_support
-    return records, stats
+    return backend.execute(runner)
 
 
 #: Backend names accepted by :func:`resolve_backend` (CLI choices).
-BACKEND_CHOICES = ("auto", "serial", "process")
+BACKEND_CHOICES = ("auto", "serial", "process", "stealing")

@@ -5,8 +5,8 @@ to (a) plan the root-level work, (b) build the expensive per-run search
 context — the :class:`~repro.core.positions.PositionIndex` and the root
 projections — exactly once per process, and (c) mine one shard of roots.
 
-Miners plug in through a three-method protocol (duck-typed, no imports
-from the miner packages so the engine stays dependency-free):
+Miners plug in through a duck-typed protocol (no imports from the miner
+packages so the engine stays dependency-free):
 
 ``build_context(encoded, extras)``
     Build the immutable per-run search context (index, root projections,
@@ -15,7 +15,17 @@ from the miner packages so the engine stays dependency-free):
 ``plan_roots(context)``
     Return a :class:`~repro.engine.sharding.PlanResult` of frequent roots.
 ``mine_root(context, root, stats)``
-    Mine one root's subtree and return its records in depth-first order.
+    Mine one root's subtree and return its records in depth-first order
+    (the static shard path).
+``initial_units(context, plan)``
+    The root-level :class:`~repro.engine.sharding.WorkUnit` seeds of the
+    work-stealing path.
+``mine_unit(context, unit, stats, splitter)``
+    Execute one work unit, consulting ``splitter`` for dynamic subtree
+    splitting and heavy-phase offload.
+``resolve_units(outcomes)``
+    Deterministically reassemble unit outcomes into the canonical serial
+    record order (coordinating process only).
 
 The runner is pickled into each worker exactly once (via the pool
 initializer); the context is *never* pickled — ``__getstate__`` drops it so
@@ -31,7 +41,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 from ..core.events import EncodedDatabase, EventId
 from ..core.positions import PositionIndex
 from ..core.stats import MiningStats
-from .sharding import PlanResult, RootResult, Shard, ShardOutcome
+from .sharding import PlanResult, RootResult, Shard, ShardOutcome, UnitOutcome, WorkUnit
 
 
 def plan_weighted_roots(
@@ -131,6 +141,39 @@ class ShardRunner:
                 stats.shipped_bytes += _record_payload_bytes(record)
             root_results.append(RootResult(root, records))
         return ShardOutcome(shard.index, tuple(root_results), stats)
+
+    # ------------------------------------------------------------------ #
+    # Work-stealing unit protocol
+    # ------------------------------------------------------------------ #
+    def plan_units(self) -> Tuple[List[WorkUnit], int]:
+        """Plan the root-level seed units (coordinating process only).
+
+        Units come back heaviest first so big subtrees enter the queue
+        early and get the whole run to subdivide; the order is a pure
+        function of the plan, never of execution timing.
+        """
+        plan = self.plan()
+        units = list(self.miner.initial_units(self._ensure_context(), plan))
+        units.sort(key=lambda unit: (-unit.cost_hint, unit.root, unit.path))
+        return units, plan.pruned_support
+
+    def run_unit(self, unit: WorkUnit, splitter: Any) -> UnitOutcome:
+        """Execute one work unit, packaging records and counters.
+
+        ``shipped_bytes`` accounting mirrors :meth:`run_shard`: the
+        instance payload packaged into the outcome is counted identically
+        on every backend so the number stays comparable.
+        """
+        context = self._ensure_context()
+        stats = MiningStats()
+        records = tuple(self.miner.mine_unit(context, unit, stats, splitter))
+        for record in records:
+            stats.shipped_bytes += _record_payload_bytes(record)
+        return UnitOutcome(unit, records, stats)
+
+    def resolve_units(self, outcomes: List[UnitOutcome]) -> List[Any]:
+        """Reassemble unit outcomes into canonical serial record order."""
+        return self.miner.resolve_units(outcomes)
 
     # ------------------------------------------------------------------ #
     # Internals

@@ -34,6 +34,40 @@ class Shard(NamedTuple):
     roots: Tuple[EventId, ...]
 
 
+class WorkUnit(NamedTuple):
+    """One stealable unit of search work for the work-stealing backend.
+
+    ``path`` identifies a search-tree node as the chain of events from the
+    root (``path[0] == root``); the worker re-derives the node's state by
+    replaying projections along it.  ``kind`` is interpreted by the miner:
+    subtree units (``"grow"`` / ``"rules"``) mine the whole subtree below
+    the node, offload units (``"verify"`` / ``"consequent"``) run one
+    node's deferred heavy phase.  ``cost_hint`` is a cheap relative cost
+    estimate (instance or projection rows) used to order the initial queue
+    heavy-first; correctness never depends on it.
+    """
+
+    kind: str
+    root: EventId
+    path: Tuple[EventId, ...]
+    cost_hint: int = 0
+
+
+class UnitOutcome(NamedTuple):
+    """Everything a worker reports back for one executed work unit.
+
+    Outcomes arrive in completion order; the miners' ``resolve_units``
+    reassembles the records deterministically (each record carries its own
+    search-tree key, and the serial depth-first emission order is exactly
+    the ascending lexicographic order of those keys), so splitting and
+    completion order never leak into the output.
+    """
+
+    unit: WorkUnit
+    records: Tuple[object, ...]
+    stats: MiningStats
+
+
 class PlanResult(NamedTuple):
     """The frequent roots of a search (with weights) plus root-level pruning.
 

@@ -1,0 +1,480 @@
+"""Adaptive work-stealing execution: dynamic subtree splitting under skew.
+
+The static LPT shard plan (:func:`~repro.engine.sharding.plan_shards`)
+guesses subtree costs at plan time from root-level weights.  On skewed
+databases — a handful of hot first-level prefixes owning most of the search
+tree — that guess is structurally wrong: whole worker pools idle behind the
+one shard that drew the hot root.  This module replaces the guess with
+demand-driven subdivision:
+
+* workers pull :class:`~repro.engine.sharding.WorkUnit` values from a
+  shared queue seeded with one unit per frequent root (heaviest first);
+* while mining a unit, a worker periodically consults its
+  :class:`StealSplitter`; when the queue runs low it *splits* the
+  shallowest unexplored frontier nodes of its depth-first search — suffix
+  extensions of its current prefix — into new units other workers can
+  steal, and may *offload* a node's heavy verification phase (closure
+  checking, consequent growth) as a separate unit;
+* a stolen unit names its node by ``(root, split-path)`` only; the thief
+  re-derives the node's projections by replaying along the path, so units
+  stay a few dozen bytes on the wire regardless of subtree size.
+
+Determinism: every record a unit produces carries its own search-tree key
+(the pattern, or the premise/consequent pair), and the serial depth-first
+emission order is exactly the ascending lexicographic order of those keys,
+so the miners' ``resolve_units`` reassembles bit-identical serial output
+from any interleaving of splits and completions.
+
+Spawn accounting is routed through the coordinator: workers announce
+splits on the result queue and the coordinator re-enqueues the new units,
+so a unit can never complete before the coordinator has registered it —
+the outstanding-unit counter is exact without any cross-queue ordering
+assumptions.  The shared ``queued`` counter (incremented at submit time by
+the splitting worker itself) is only a scheduling hint for the hunger
+heuristic and never affects correctness.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import traceback
+from collections import deque
+from typing import Any, Callable, List, NamedTuple, Optional, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.stats import MiningStats
+from .backend import ExecutionBackend
+from .sharding import UnitOutcome, WorkUnit
+
+#: Maximum node depth (path length) at which frontier nodes may still be
+#: split off as stealable units.  Thieves replay projections along the
+#: split path, so deeper splits cost more to steal; shallow splits move the
+#: most work per replayed step.
+DEFAULT_SPLIT_DEPTH = 8
+
+#: Search nodes visited between two hunger checks inside ``mine_unit``.
+DEFAULT_CHECK_INTERVAL = 64
+
+#: Minimum cost hint (instance / projection rows) below which a node's
+#: heavy phase is never offloaded as its own unit — replaying the path
+#: would cost more than the phase itself.
+DEFAULT_OFFLOAD_MIN_COST = 256
+
+
+class NullSplitter:
+    """The no-splitting policy: serial and shard backends use this."""
+
+    split_depth = 0
+
+    def should_split(self) -> bool:
+        return False
+
+    def should_offload(self, cost_hint: int) -> bool:
+        return False
+
+    def submit(self, units: Sequence[WorkUnit]) -> None:
+        raise RuntimeError("NullSplitter cannot accept split-off work units")
+
+
+NULL_SPLITTER = NullSplitter()
+
+
+class StealSplitter:
+    """Worker-side splitting policy handed to ``miner.mine_unit``.
+
+    ``should_split`` answers "is the pool hungry?" (the shared queue is
+    below its low watermark); ``should_offload`` additionally weighs a
+    node's cost hint against the replay cost of a stolen unit.  ``submit``
+    hands split-off units to the executor.  ``eager`` forces both answers
+    to yes with no cost floor *and* drops the check interval to every
+    visit — the deterministic in-process stress mode the parity tests use
+    to exercise every split and offload path on every example, however
+    small.
+    """
+
+    __slots__ = ("split_depth", "check_interval", "_submit", "_hungry", "_offload_min_cost", "_eager")
+
+    def __init__(
+        self,
+        submit: Callable[[List[WorkUnit]], None],
+        hungry: Callable[[], bool],
+        split_depth: int,
+        check_interval: int,
+        offload_min_cost: int,
+        eager: bool,
+    ) -> None:
+        self.split_depth = split_depth
+        self.check_interval = 1 if eager else check_interval
+        self._submit = submit
+        self._hungry = hungry
+        self._offload_min_cost = 0 if eager else offload_min_cost
+        self._eager = eager
+
+    def should_split(self) -> bool:
+        return self._eager or self._hungry()
+
+    def should_offload(self, cost_hint: int) -> bool:
+        if self._eager:
+            return True
+        return cost_hint >= self._offload_min_cost and self._hungry()
+
+    def submit(self, units: Sequence[WorkUnit]) -> None:
+        if units:
+            self._submit(list(units))
+
+
+class FrontierFrame:
+    """One depth-first frame of a splittable subtree search.
+
+    ``key`` is the node's search-tree path (pattern or premise prefix);
+    ``state`` is an opaque miner payload carried alongside (e.g. the
+    pattern miners' per-node ``AlphabetIndex``); ``extensions`` maps each
+    candidate child event to its projection payload, and ``explore`` /
+    ``cursor`` track which children are still pending.  Everything past
+    ``cursor`` is the frame's unexplored frontier — exactly what
+    :func:`drive_split_subtree` may carve off as stolen units.
+    """
+
+    __slots__ = ("key", "state", "extensions", "explore", "cursor")
+
+    def __init__(self, key: Tuple, state: Any, extensions: dict, explore: List) -> None:
+        self.key = key
+        self.state = state
+        self.extensions = extensions
+        self.explore = explore
+        self.cursor = 0
+
+
+def drive_split_subtree(
+    first_frame: Optional[FrontierFrame],
+    visit_child: Callable[[FrontierFrame, Any, Any], Optional[FrontierFrame]],
+    min_rows: int,
+    splitter: Any,
+    stats: MiningStats,
+    unit_kind: str,
+) -> None:
+    """Run a depth-first subtree with periodic frontier splitting.
+
+    ``visit_child`` performs one node visit (counting, emission, child
+    expansion) and returns the child's frame, or ``None`` for leaves.
+    Children whose payload has fewer than ``min_rows`` rows are support-
+    pruned in place, mirroring the serial loops.  Every
+    ``splitter.check_interval`` child visits the splitter is consulted;
+    when it says the pool is hungry, the pending frontier of the
+    *shallowest* eligible frame is submitted as fresh ``unit_kind`` units
+    (the biggest stealable subtrees, cheapest for a thief to replay).
+    """
+    frames: List[FrontierFrame] = []
+    if first_frame is not None:
+        frames.append(first_frame)
+    check_interval = getattr(splitter, "check_interval", 0)
+    countdown = check_interval
+    while frames:
+        top = frames[-1]
+        if top.cursor >= len(top.explore):
+            frames.pop()
+            continue
+        event = top.explore[top.cursor]
+        top.cursor += 1
+        child_payload = top.extensions[event]
+        if len(child_payload) < min_rows:
+            stats.pruned_support += 1
+            continue
+        if check_interval:
+            countdown -= 1
+            if countdown <= 0:
+                countdown = check_interval
+                if splitter.should_split():
+                    _split_frontier(frames, min_rows, splitter, stats, unit_kind)
+        child_frame = visit_child(top, event, child_payload)
+        if child_frame is not None:
+            frames.append(child_frame)
+
+
+def _split_frontier(
+    frames: List[FrontierFrame],
+    min_rows: int,
+    splitter: Any,
+    stats: MiningStats,
+    unit_kind: str,
+) -> None:
+    """Carve the shallowest pending frontier into stealable units.
+
+    Infrequent pending children stay behind (their support pruning is a
+    counter bump, cheaper than any replay); frequent ones leave as units
+    keyed by their full split path, and their projection payloads are
+    dropped immediately — the thief re-derives them.
+    """
+    for frame in frames:
+        if len(frame.key) + 1 > splitter.split_depth:
+            # Frames only get deeper down the stack; nothing below splits.
+            break
+        pending = frame.explore[frame.cursor:]
+        stealable = [
+            event for event in pending if len(frame.extensions[event]) >= min_rows
+        ]
+        if not stealable:
+            continue
+        units = [
+            WorkUnit(
+                unit_kind,
+                frame.key[0],
+                frame.key + (event,),
+                len(frame.extensions[event]),
+            )
+            for event in stealable
+        ]
+        frame.explore = frame.explore[: frame.cursor] + [
+            event for event in pending if len(frame.extensions[event]) < min_rows
+        ]
+        for event in stealable:
+            del frame.extensions[event]
+        splitter.submit(units)
+        stats.bump("units_split", len(units))
+        return
+
+
+class _Spawn(NamedTuple):
+    """A worker's announcement that it split off new units."""
+
+    units: Tuple[WorkUnit, ...]
+
+
+class _WorkerFailure(NamedTuple):
+    """A worker's report that it died; carries the formatted traceback."""
+
+    message: str
+
+
+def _worker_main(
+    runner: Any,
+    tasks: Any,
+    results: Any,
+    queued: Any,
+    busy: Any,
+    worker_index: int,
+    low_watermark: int,
+    split_depth: int,
+    check_interval: int,
+    offload_min_cost: int,
+    eager: bool,
+) -> None:
+    """Worker process loop: pull units, mine, announce splits, report.
+
+    ``busy[worker_index]`` is 1 exactly while this worker holds a unit it
+    has not yet reported — the coordinator's lost-unit detector: a worker
+    that dies abnormally (OOM kill, SIGKILL) with its busy flag set took
+    a unit down with it, so the run must abort instead of waiting forever.
+    A hard kill landing in the few instructions between ``tasks.get()``
+    and setting the flag (undetected loss) or between reporting and
+    clearing it (spurious abort) is not defended against — the flag
+    shrinks the vulnerable window from the whole unit execution to those
+    two instruction gaps, and the flag updates are ordered so the wide
+    failure mode is the recoverable one (abort, not hang).
+    """
+    try:
+        runner.setup()
+    except BaseException:
+        results.put(_WorkerFailure(traceback.format_exc()))
+        return
+
+    def hungry() -> bool:
+        return queued.value < low_watermark
+
+    def submit(units: List[WorkUnit]) -> None:
+        # Bump the hint counter *before* announcing, so this worker (and
+        # every other) immediately stops seeing the queue as dry instead of
+        # splitting again on the next check.
+        with queued.get_lock():
+            queued.value += len(units)
+        results.put(_Spawn(tuple(units)))
+
+    while True:
+        unit = tasks.get()
+        if unit is None:
+            return
+        busy[worker_index] = 1
+        with queued.get_lock():
+            queued.value -= 1
+        splitter = StealSplitter(
+            submit, hungry, split_depth, check_interval, offload_min_cost, eager
+        )
+        try:
+            outcome = runner.run_unit(unit, splitter)
+        except BaseException:
+            results.put(_WorkerFailure(traceback.format_exc()))
+            return
+        results.put(outcome)
+        busy[worker_index] = 0
+
+
+def _run_units_with_processes(
+    runner: Any, units: List[WorkUnit], backend: "WorkStealingBackend"
+) -> List[UnitOutcome]:
+    """Execute units on a pool of stealing workers; collect all outcomes."""
+    ctx = multiprocessing.get_context()
+    tasks = ctx.Queue()
+    results = ctx.Queue()
+    queued = ctx.Value("i", len(units))
+    busy = ctx.Array("i", backend.workers)
+    for unit in units:
+        tasks.put(unit)
+    workers = [
+        ctx.Process(
+            target=_worker_main,
+            args=(
+                runner,
+                tasks,
+                results,
+                queued,
+                busy,
+                worker_index,
+                backend.workers,
+                backend.split_depth,
+                backend.check_interval,
+                backend.offload_min_cost,
+                backend.eager_split,
+            ),
+            daemon=True,
+        )
+        for worker_index in range(backend.workers)
+    ]
+    for worker in workers:
+        worker.start()
+    outstanding = len(units)
+    outcomes: List[UnitOutcome] = []
+    try:
+        while outstanding:
+            try:
+                message = results.get(timeout=1.0)
+            except queue_module.Empty:
+                if not any(worker.is_alive() for worker in workers):
+                    raise RuntimeError(
+                        "work-stealing workers exited with units outstanding"
+                    ) from None
+                # A worker that died abnormally while holding a unit (busy
+                # flag still set, no failure report) lost that unit for
+                # good — abort instead of waiting on it forever.  Healthy
+                # deaths clear the flag between units.
+                lost = [
+                    index
+                    for index, worker in enumerate(workers)
+                    if not worker.is_alive() and busy[index]
+                ]
+                if lost:
+                    raise RuntimeError(
+                        f"work-stealing worker(s) {lost} died while holding a "
+                        "unit (killed?); aborting the run"
+                    ) from None
+                continue
+            if isinstance(message, _WorkerFailure):
+                raise RuntimeError(
+                    f"work-stealing worker failed:\n{message.message}"
+                )
+            if isinstance(message, _Spawn):
+                outstanding += len(message.units)
+                for unit in message.units:
+                    tasks.put(unit)
+                continue
+            outstanding -= 1
+            outcomes.append(message)
+        for _ in workers:
+            tasks.put(None)
+        for worker in workers:
+            worker.join(timeout=10.0)
+    finally:
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+    return outcomes
+
+
+def _run_units_in_process(
+    runner: Any, units: List[WorkUnit], backend: "WorkStealingBackend"
+) -> List[UnitOutcome]:
+    """Run units on a local deque in the current process.
+
+    With ``eager_split`` the splitter says yes to every split and offload,
+    so the full split / replay / offload / resolve machinery is exercised
+    deterministically without any processes — the mode the property tests
+    drive.  Without it nothing ever splits and the run degenerates to the
+    serial reference.
+    """
+    runner.setup()
+    pending: deque = deque(units)
+    eager = backend.eager_split
+    outcomes: List[UnitOutcome] = []
+    while pending:
+        unit = pending.popleft()
+        splitter = StealSplitter(
+            pending.extend,
+            lambda: False,
+            backend.split_depth,
+            backend.check_interval,
+            backend.offload_min_cost,
+            eager,
+        )
+        outcomes.append(runner.run_unit(unit, splitter))
+    return outcomes
+
+
+class WorkStealingBackend(ExecutionBackend):
+    """Adaptive work-stealing backend with dynamic subtree splitting.
+
+    Prefer this over the static-plan ``process`` backend when the database
+    is skewed — a few hot events owning most of the search tree — or when
+    subtree costs are otherwise unpredictable at plan time.  On uniformly
+    distributed work the LPT plan's lower coordination overhead makes the
+    ``process`` backend marginally faster.
+
+    ``split_depth`` bounds how deep in the search tree frontier nodes may
+    still be split off (thieves replay projections along the split path,
+    so deeper splits are more expensive to steal); ``check_interval``
+    controls how often busy workers look at the queue; ``eager_split``
+    forces every split decision to yes (testing / stress mode).
+    """
+
+    name = "stealing"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        split_depth: int = DEFAULT_SPLIT_DEPTH,
+        check_interval: int = DEFAULT_CHECK_INTERVAL,
+        offload_min_cost: int = DEFAULT_OFFLOAD_MIN_COST,
+        eager_split: bool = False,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers!r}")
+        if split_depth < 1:
+            raise ConfigurationError(f"split_depth must be >= 1, got {split_depth!r}")
+        if check_interval < 1:
+            raise ConfigurationError(
+                f"check_interval must be >= 1, got {check_interval!r}"
+            )
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.split_depth = split_depth
+        self.check_interval = check_interval
+        self.offload_min_cost = offload_min_cost
+        self.eager_split = eager_split
+
+    def describe(self) -> str:
+        suffix = ", eager" if self.eager_split else ""
+        return f"{self.name}[workers={self.workers}, split_depth={self.split_depth}{suffix}]"
+
+    def execute(self, runner: Any) -> Tuple[List[Any], MiningStats]:
+        units, pruned_support = runner.plan_units()
+        stats = MiningStats()
+        stats.pruned_support += pruned_support
+        if not units:
+            return [], stats
+        if self.workers <= 1:
+            outcomes = _run_units_in_process(runner, units, self)
+        else:
+            outcomes = _run_units_with_processes(runner, units, self)
+        for outcome in outcomes:
+            stats.merge_counters(outcome.stats)
+        records = runner.resolve_units(outcomes)
+        return records, stats

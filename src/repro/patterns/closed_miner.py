@@ -10,17 +10,22 @@ the paper's Figure 1(b).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from ..core.blocks import InstanceBlock
-from ..core.events import EncodedDatabase, EventId
-from ..core.positions import PositionIndex
-from ..core.projection import AlphabetIndex
+from ..core.events import EventId
 from ..core.sequence import SequenceDatabase
-from ..engine import ExecutionBackend
-from .closure import is_closed_block
+from ..core.projection import AlphabetIndex, backward_extension_events_block
+from ..engine import ExecutionBackend, WorkUnit
+from .closure import forward_closure_violation, infix_closure_violation_block
 from .config import IterativeMiningConfig
-from .miner_base import IterativePatternMinerBase
+from .miner_base import (
+    VERIFY_UNIT,
+    IterativePatternMinerBase,
+    PatternRecord,
+    PatternSearchContext,
+    PendingClosure,
+)
 from .result import PatternMiningResult
 
 
@@ -41,28 +46,69 @@ class ClosedIterativePatternMiner(IterativePatternMinerBase):
 
     closed_only = True
 
-    def _should_emit(
+    def _emit(
         self,
-        encoded: EncodedDatabase,
-        index: PositionIndex,
+        context: PatternSearchContext,
         node: AlphabetIndex,
         block: InstanceBlock,
         extensions: Dict[EventId, InstanceBlock],
-    ) -> bool:
+        stats: "Any",
+        splitter: Any,
+        records: List[object],
+    ) -> None:
+        """Closure-check sharding: free forward test inline, rest offloadable.
+
+        The forward violation test reuses the extension blocks the growth
+        step just computed, so it always runs in place.  The backward scan
+        and the infix oracle are the expensive tail; when the splitter
+        reports a hungry pool and the block is heavy enough, they leave as
+        a ``verify`` unit with the block length as cost hint, and the
+        pattern is emitted pending that unit's verdict.
+        """
+        pattern = node.pattern
         max_length = self.config.max_pattern_length
-        if max_length is not None and len(node.pattern) >= max_length:
+        if max_length is not None and len(pattern) >= max_length:
             # Closedness is judged relative to the explored pattern space:
             # every single-event extension of a cap-length pattern lies
             # outside it, so cap-length frequent patterns are emitted.
-            return True
-        return is_closed_block(
-            encoded,
-            index,
-            node,
-            block,
-            extensions,
-            check_infix=self.config.check_infix_extensions,
-        )
+            stats.emitted += 1
+            records.append(
+                PatternRecord(pattern, len(block), self._keep_instances(block))
+            )
+            return
+        if forward_closure_violation(extensions, len(block)) is not None:
+            stats.pruned_closure += 1
+            return
+        if splitter.should_offload(len(block)):
+            records.append(
+                PendingClosure(pattern, len(block), self._keep_instances(block))
+            )
+            splitter.submit([WorkUnit(VERIFY_UNIT, pattern[0], pattern, len(block))])
+            stats.bump("closure_offloads")
+            return
+        if self._verify_deferred_closure(context, node, block):
+            stats.emitted += 1
+            records.append(
+                PatternRecord(pattern, len(block), self._keep_instances(block))
+            )
+        else:
+            stats.pruned_closure += 1
+
+    def _verify_deferred_closure(
+        self, context: PatternSearchContext, node: AlphabetIndex, block: InstanceBlock
+    ) -> bool:
+        """The offloadable closure tail: backward scan plus infix oracle."""
+        if backward_extension_events_block(context.encoded, context.index, node, block):
+            return False
+        if (
+            self.config.check_infix_extensions
+            and infix_closure_violation_block(
+                context.encoded, context.index, node, block
+            )
+            is not None
+        ):
+            return False
+        return True
 
 
 def mine_closed_patterns(

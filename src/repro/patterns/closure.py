@@ -46,6 +46,7 @@ from ..core.projection import (
     EncodedDatabase,
     backward_extension_events,
     backward_extension_events_block,
+    project_rows_in_sequence,
 )
 
 
@@ -232,6 +233,34 @@ def _gap_candidates_block(
     return {event: gaps_by_event[event] for event in candidates}
 
 
+def _rows_correspond(
+    block: InstanceBlock, lo: int, hi: int, rows: List[Tuple[int, int]]
+) -> bool:
+    """Per-sequence Definition 4.2 correspondence, two-pointer form.
+
+    ``block`` rows ``lo..hi`` are the sub-instances of one sequence;
+    ``rows`` the equally-many super-instances.  Both have strictly
+    increasing starts *and* ends (an instance is determined by either
+    endpoint), so the reference algorithm's "first unused enclosing
+    super-instance" reduces to a forward sweep: super-rows ending before
+    the current sub-row can never enclose a later sub-row either, and once
+    a super-row starts after the sub-row every later one does too.
+    """
+    starts = block.starts
+    ends = block.ends
+    cursor = 0
+    cursor_hi = len(rows)
+    for row in range(lo, hi):
+        start = starts[row]
+        end = ends[row]
+        while cursor < cursor_hi and rows[cursor][1] < end:
+            cursor += 1
+        if cursor == cursor_hi or rows[cursor][0] > start:
+            return False
+        cursor += 1
+    return True
+
+
 def infix_closure_violation_block(
     encoded_db: EncodedDatabase,
     index: PositionIndex,
@@ -240,23 +269,62 @@ def infix_closure_violation_block(
 ) -> Optional[Tuple[EventId, int]]:
     """Columnar :func:`infix_closure_violation` over an instance block.
 
-    Candidate insertions are rare, so the exact verification (which needs
-    tuple-form instances for :func:`instances_correspond`) only materialises
-    the block when at least one candidate survives the gap pre-filter.
+    Candidates surviving the gap pre-filter are verified entirely on the
+    merged-alphabet projection machinery — no instance tuples, no QRE
+    rescans.  The key structural fact: correspondence plus equal support
+    force the extended pattern's instance count to match the pattern's
+    *in every single sequence* (and to vanish in sequences the pattern
+    misses), so the oracle verifies sequence by sequence and abandons a
+    candidate at its first mismatching sequence instead of materialising
+    the extension across the whole database first.
     """
     candidates = _gap_candidates_block(encoded_db, index, node, block)
     if not candidates:
         return None
     pattern = node.pattern
-    instances = block.to_instances()
-    support = len(instances)
+    # Per-sequence instance counts of the pattern, and each group's rows.
+    groups: Dict[int, Tuple[int, int]] = {
+        sid: (lo, hi) for sid, lo, hi in block.groups()
+    }
+    # prefix_nodes[i] is the AlphabetIndex of pattern[:i + 1]; its merged
+    # caches are shared by every candidate through the parent links.
+    prefix_nodes = [AlphabetIndex(index, (pattern[0],))]
+    for event in pattern[1:-1]:
+        prefix_nodes.append(prefix_nodes[-1].extend(event))
+    database_size = len(encoded_db)
     for event in sorted(candidates):
         for insert_position in candidates[event]:
             extended = pattern[:insert_position] + (event,) + pattern[insert_position:]
-            extended_instances = _oracle_instances(encoded_db, index, extended)
-            if len(extended_instances) != support:
-                continue
-            if instances_correspond(instances, extended_instances):
+            nodes = prefix_nodes[: insert_position]
+            nodes = nodes + [nodes[-1].extend(event)]
+            for tail_event in pattern[insert_position:]:
+                nodes.append(nodes[-1].extend(tail_event))
+            matched = True
+            for sequence_index in range(database_size):
+                bounds = groups.get(sequence_index)
+                expected = bounds[1] - bounds[0] if bounds is not None else 0
+                positions = index[sequence_index]
+                first_positions = positions.positions_of(extended[0])
+                if not first_positions:
+                    if expected:
+                        matched = False
+                        break
+                    continue
+                rows = project_rows_in_sequence(
+                    encoded_db[sequence_index],
+                    positions.table(),
+                    nodes,
+                    extended,
+                    sequence_index,
+                    [(position, position) for position in first_positions],
+                )
+                if len(rows) != expected:
+                    matched = False
+                    break
+                if expected and not _rows_correspond(block, bounds[0], bounds[1], rows):
+                    matched = False
+                    break
+            if matched:
                 return (event, insert_position)
     return None
 

@@ -16,12 +16,18 @@ one :class:`~repro.core.projection.AlphabetIndex` — the node's shared
 which the forward projection, the backward closure scan and the infix check
 all share instead of rebuilding per call.
 
-The search is *root-parallel*: the subtree below each frequent singleton is
-independent of every other subtree, so the miners implement the engine's
-miner protocol (``build_context`` / ``plan_roots`` / ``mine_root``) and let
-an :class:`~repro.engine.backend.ExecutionBackend` decide whether the roots
-run serially in-process (the default) or fan out to a worker pool.  Either
-way the merged output is bit-identical.
+The search is *root-parallel* and *unit-shardable*: the subtree below each
+frequent singleton is independent of every other subtree, and any frontier
+node inside a subtree can itself be carved off as a
+:class:`~repro.engine.sharding.WorkUnit` keyed by its ``(root, split-path)``
+and re-derived elsewhere by replaying projections along the path.  The
+miners implement the engine's protocol (``build_context`` / ``plan_roots``
+/ ``mine_root`` for the static shard path, ``initial_units`` /
+``mine_unit`` / ``resolve_units`` for the work-stealing path) and let an
+:class:`~repro.engine.backend.ExecutionBackend` decide where the search
+runs.  Either way the merged output is bit-identical: the serial
+depth-first emission order equals the ascending lexicographic order of the
+emitted patterns, so sorting records by pattern reassembles it exactly.
 """
 
 from __future__ import annotations
@@ -29,37 +35,74 @@ from __future__ import annotations
 from collections import Counter
 from typing import Any, Dict, List, NamedTuple, Optional, Tuple
 
-from ..core.blocks import InstanceBlock
+from ..core.blocks import InstanceBlock, WireInstanceBlock
+from ..core.errors import ConfigurationError
 from ..core.events import EncodedDatabase, EventId
 from ..core.positions import PositionIndex
-from ..core.projection import AlphabetIndex, forward_extensions_block, singleton_blocks
+from ..core.projection import (
+    AlphabetIndex,
+    forward_extensions_block,
+    project_extension_block,
+    singleton_blocks,
+)
 from ..core.sequence import SequenceDatabase, absolute_support
 from ..core.stats import MiningStats
 from ..engine import (
+    NULL_SPLITTER,
     ExecutionBackend,
     LazyIndexContext,
     PlanResult,
     SerialBackend,
     ShardRunner,
+    UnitOutcome,
+    WorkUnit,
     plan_weighted_roots,
     run_sharded,
 )
+from ..engine.stealing import FrontierFrame, drive_split_subtree
 from .config import IterativeMiningConfig
 from .result import MinedPattern, PatternMiningResult
+
+#: Work-unit kinds of the pattern search: ``grow`` mines a whole subtree,
+#: ``verify`` runs one node's deferred closure check.
+GROW_UNIT = "grow"
+VERIFY_UNIT = "verify"
 
 
 class PatternRecord(NamedTuple):
     """An emitted pattern in encoded (event-id) form, as produced by workers.
 
-    ``instances`` carries the columnar block when instance collection is on
-    (``None`` otherwise); the coordinator decodes it to
-    :class:`~repro.core.instances.PatternInstance` tuples, so the block form
-    only exists on the mining path and the worker-to-coordinator wire.
+    ``instances`` carries the columnar wire block (no ``ends`` column) when
+    instance collection is on (``None`` otherwise); the coordinator decodes
+    it to :class:`~repro.core.instances.PatternInstance` tuples, so the
+    block form only exists on the mining path and the
+    worker-to-coordinator wire.
     """
 
     pattern: Tuple[EventId, ...]
     support: int
-    instances: Optional[InstanceBlock]
+    instances: Optional[WireInstanceBlock]
+
+
+class PendingClosure(NamedTuple):
+    """A frequent pattern whose closure check was offloaded to a verify unit.
+
+    The grow worker already ran the free forward check; the matching
+    ``verify`` unit reports the backward/infix verdict and
+    ``resolve_units`` turns the pair into a :class:`PatternRecord` (or
+    drops it) on the coordinator.
+    """
+
+    pattern: Tuple[EventId, ...]
+    support: int
+    instances: Optional[WireInstanceBlock]
+
+
+class ClosureVerdict(NamedTuple):
+    """The outcome of a deferred closure check for one pattern."""
+
+    pattern: Tuple[EventId, ...]
+    closed: bool
 
 
 class PatternSearchContext(LazyIndexContext):
@@ -119,13 +162,18 @@ class IterativePatternMinerBase:
         stats.merge_counters(search_stats)
 
         vocabulary = database.vocabulary
+        encoded = database.encoded
         for record in records:
             result.patterns.append(
                 MinedPattern(
                     events=vocabulary.decode(record.pattern),
                     support=record.support,
+                    # Wire blocks ship without their ends column; rebuild it
+                    # here, on the coordinator, from the pattern itself.
                     instances=(
-                        record.instances.to_tuple() if record.instances is not None else ()
+                        record.instances.to_tuple(encoded, record.pattern)
+                        if record.instances is not None
+                        else ()
                     ),
                 )
             )
@@ -160,11 +208,89 @@ class IterativePatternMinerBase:
     def mine_root(
         self, context: PatternSearchContext, root: EventId, stats: MiningStats
     ) -> List[PatternRecord]:
-        """Mine the subtree rooted at the singleton ``<root>``."""
-        records: List[PatternRecord] = []
-        root_node = AlphabetIndex(context.index, (root,))
-        self._grow(context, (root,), context.singletons[root], records, stats, root_node)
+        """Mine the subtree rooted at the singleton ``<root>``.
+
+        The static shard path: one grow unit, never split.
+        """
+        return self.mine_unit(
+            context, WorkUnit(GROW_UNIT, root, (root,)), stats, NULL_SPLITTER
+        )
+
+    def initial_units(
+        self, context: PatternSearchContext, plan: PlanResult
+    ) -> List[WorkUnit]:
+        """One grow unit per frequent root, weighted by instance count."""
+        return [
+            WorkUnit(GROW_UNIT, root, (root,), weight) for root, weight in plan.roots
+        ]
+
+    def mine_unit(
+        self,
+        context: PatternSearchContext,
+        unit: WorkUnit,
+        stats: MiningStats,
+        splitter: Any,
+    ) -> List[object]:
+        """Execute one work unit: mine a subtree or verify one closure."""
+        records: List[object] = []
+        if unit.kind == VERIFY_UNIT:
+            block, node = self._replay(context, unit.path, stats)
+            closed = self._verify_deferred_closure(context, node, block)
+            if closed:
+                stats.emitted += 1
+            else:
+                stats.pruned_closure += 1
+            records.append(ClosureVerdict(unit.path, closed))
+            return records
+        if unit.kind != GROW_UNIT:
+            raise ConfigurationError(f"unknown pattern work-unit kind {unit.kind!r}")
+        block, node = self._replay(context, unit.path, stats)
+
+        def visit_child(
+            frame: FrontierFrame, event: EventId, child_block: InstanceBlock
+        ) -> Optional[FrontierFrame]:
+            return self._visit(
+                context, child_block, frame.state.extend(event), records, stats, splitter
+            )
+
+        drive_split_subtree(
+            self._visit(context, block, node, records, stats, splitter),
+            visit_child,
+            context.min_support,
+            splitter,
+            stats,
+            GROW_UNIT,
+        )
         return records
+
+    def resolve_units(self, outcomes: List[UnitOutcome]) -> List[PatternRecord]:
+        """Reassemble unit outcomes into the canonical serial record order.
+
+        Deferred closure verdicts are matched back to their pending
+        records first; the final sort by encoded pattern reproduces the
+        serial depth-first emission order exactly (pre-order over children
+        visited in ascending event order *is* lexicographic pattern
+        order).
+        """
+        verdicts: Dict[Tuple[EventId, ...], bool] = {}
+        mined: List[object] = []
+        for outcome in outcomes:
+            for record in outcome.records:
+                if isinstance(record, ClosureVerdict):
+                    verdicts[record.pattern] = record.closed
+                else:
+                    mined.append(record)
+        resolved: List[PatternRecord] = []
+        for record in mined:
+            if isinstance(record, PendingClosure):
+                if verdicts[record.pattern]:
+                    resolved.append(
+                        PatternRecord(record.pattern, record.support, record.instances)
+                    )
+            else:
+                resolved.append(record)
+        resolved.sort(key=lambda record: record.pattern)
+        return resolved
 
     # ------------------------------------------------------------------ #
     # Hooks
@@ -184,42 +310,104 @@ class IterativePatternMinerBase:
         """
         raise NotImplementedError
 
-    # ------------------------------------------------------------------ #
-    # Search
-    # ------------------------------------------------------------------ #
-    def _grow(
+    def _emit(
         self,
         context: PatternSearchContext,
-        pattern: Tuple[EventId, ...],
-        block: InstanceBlock,
-        records: List[PatternRecord],
-        stats: MiningStats,
         node: AlphabetIndex,
+        block: InstanceBlock,
+        extensions: Dict[EventId, InstanceBlock],
+        stats: MiningStats,
+        splitter: Any,
+        records: List[object],
     ) -> None:
-        encoded = context.encoded
-        index = context.index
-        stats.visited += 1
+        """Emit (or prune) the current node's pattern.
 
-        # ``node`` is this search node's shared boundary cache: every
-        # projection and closure query reuses the same frozenset(pattern)
-        # and merged alphabet-occurrence lists, derived incrementally from
-        # the parent node's cache.
-        extensions = forward_extensions_block(encoded, index, node, block)
-        for extension_block in extensions.values():
-            stats.instances_materialized += len(extension_block)
-
-        if self._should_emit(encoded, index, node, block, extensions):
+        The closed miner overrides this to split its closure check into a
+        free inline part and an offloadable verify unit; the default keeps
+        the one-shot ``_should_emit`` decision.
+        """
+        if self._should_emit(context.encoded, context.index, node, block, extensions):
             stats.emitted += 1
-            kept = block if self.config.collect_instances else None
-            records.append(PatternRecord(pattern, len(block), kept))
+            records.append(
+                PatternRecord(node.pattern, len(block), self._keep_instances(block))
+            )
         else:
             stats.pruned_closure += 1
 
+    def _verify_deferred_closure(
+        self, context: PatternSearchContext, node: AlphabetIndex, block: InstanceBlock
+    ) -> bool:
+        """Run the deferred part of a closure check (verify units only)."""
+        raise NotImplementedError(
+            "only the closed miner offloads closure verification"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def _keep_instances(self, block: InstanceBlock) -> Optional[WireInstanceBlock]:
+        """The record payload for ``block``: a wire block, or nothing.
+
+        Wire form drops the ``ends`` column (derivable from the starts and
+        the pattern) and shares the remaining columns, so keeping instances
+        costs no copy and ships one column less.
+        """
+        return block.to_wire() if self.config.collect_instances else None
+
+    def _replay(
+        self,
+        context: PatternSearchContext,
+        path: Tuple[EventId, ...],
+        stats: MiningStats,
+    ) -> Tuple[InstanceBlock, AlphabetIndex]:
+        """Re-derive a split node's instance block by replaying its path.
+
+        This is the cost a thief pays for a stolen unit: one targeted
+        single-event projection per path step instead of shipping bulky
+        intermediate blocks through the queue.  Replayed rows are tracked
+        separately from ``instances_materialized`` so the search counters
+        stay comparable with the serial run.
+        """
+        block = context.singletons[path[0]]
+        node = AlphabetIndex(context.index, (path[0],))
+        for event in path[1:]:
+            block = project_extension_block(
+                context.encoded, context.index, node, block, event
+            )
+            node = node.extend(event)
+            stats.bump("steal_replayed_rows", len(block))
+        return block, node
+
+    def _visit(
+        self,
+        context: PatternSearchContext,
+        block: InstanceBlock,
+        node: AlphabetIndex,
+        records: List[object],
+        stats: MiningStats,
+        splitter: Any,
+    ) -> Optional[FrontierFrame]:
+        """Visit one search node: project, emit, and open its frame.
+
+        ``node`` is this search node's shared boundary cache: every
+        projection and closure query reuses the same frozenset(pattern)
+        and merged alphabet-occurrence lists, derived incrementally from
+        the parent node's cache.
+        """
+        encoded = context.encoded
+        stats.visited += 1
+        extensions = forward_extensions_block(encoded, context.index, node, block)
+        for extension_block in extensions.values():
+            stats.instances_materialized += len(extension_block)
+
+        self._emit(context, node, block, extensions, stats, splitter, records)
+
+        pattern = node.pattern
         if (
             self.config.max_pattern_length is not None
             and len(pattern) >= self.config.max_pattern_length
         ):
-            return
+            return None
 
         explore = sorted(extensions)
         if self.config.adjacent_absorption_pruning:
@@ -232,14 +420,7 @@ class IterativePatternMinerBase:
                 stats.bump("absorption_pruned_branches", len(extensions) - 1)
                 explore = [absorbed]
 
-        for event in explore:
-            extension_block = extensions[event]
-            if len(extension_block) < context.min_support:
-                stats.pruned_support += 1
-                continue
-            self._grow(
-                context, pattern + (event,), extension_block, records, stats, node.extend(event)
-            )
+        return FrontierFrame(pattern, node, extensions, explore)
 
     @staticmethod
     def _adjacent_absorbing_event(

@@ -29,7 +29,7 @@ from __future__ import annotations
 from array import array
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..core.blocks import BLOCK_TYPECODE, PositionBlock
 from ..core.events import EncodedDatabase, EventId
@@ -187,26 +187,30 @@ class ConsequentGrower:
         children: Dict[EventId, _SearchNode] = {}
 
         # Confidence side: advance the greedy match of each alive temporal
-        # point past every event occurring in its remaining suffix.
-        scan_cache: Dict[Tuple[int, int], Dict[EventId, int]] = {}
+        # point past every event occurring in its remaining suffix.  The
+        # first occurrence of each event after the match position is a
+        # bisect into the index's per-event occurrence lists — no suffix
+        # scan, no per-point first-occurrence dict.  A child's per-point
+        # columns receive at most one row per alive point, so the event
+        # iteration order within a point never shows in the output.
         point_seqs = node.point_seqs
         point_positions = node.point_positions
         match_positions = node.match_positions
+        index = self.index
+        last_sequence_index = -1
+        table: Dict[EventId, List[int]] = {}
         for row in range(len(point_seqs)):
             sequence_index = point_seqs[row]
+            if sequence_index != last_sequence_index:
+                table = index[sequence_index].table()
+                last_sequence_index = sequence_index
             point = point_positions[row]
             match_position = match_positions[row]
-            key = (sequence_index, match_position)
-            first_after = scan_cache.get(key)
-            if first_after is None:
-                sequence = self.encoded_db[sequence_index]
-                first_after = {}
-                for position in range(match_position + 1, len(sequence)):
-                    event = sequence[position]
-                    if event not in first_after:
-                        first_after[event] = position
-                scan_cache[key] = first_after
-            for event, position in first_after.items():
+            for event, occurrences in table.items():
+                cut = bisect_right(occurrences, match_position)
+                if cut == len(occurrences):
+                    continue
+                position = occurrences[cut]
                 child = children.get(event)
                 if child is None:
                     child = _SearchNode(

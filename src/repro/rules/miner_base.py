@@ -7,12 +7,21 @@ redundant rules.  The only differences between the two miners are whether the
 consequent grower suppresses dominated rules early and whether the final
 Definition 5.2 sweep is applied; both choices live in class attributes.
 
-Like the pattern miners, the premise search is *root-parallel*: the subtree
-below each single-event premise is independent, so the miners implement the
-engine's miner protocol (``build_context`` / ``plan_roots`` / ``mine_root``)
-and an :class:`~repro.engine.backend.ExecutionBackend` decides whether roots
-run serially or on a worker pool.  The Definition 5.2 sweep is global, so it
-always runs in the coordinating process after the deterministic merge.
+Like the pattern miners, the premise search is *root-parallel* and
+*unit-shardable*: the subtree below each single-event premise is
+independent, and any frontier premise inside a subtree can be carved off
+as a :class:`~repro.engine.sharding.WorkUnit` keyed by its ``(root,
+split-path)`` — the thief re-derives the premise projections with one
+binary search per supporting sequence per path step.  A premise's
+consequent growth — the heavy phase of rule mining — can likewise leave as
+its own ``consequent`` unit when the pool runs hungry.  The miners
+implement the engine's protocol (``build_context`` / ``plan_roots`` /
+``mine_root`` for the static shard path, ``initial_units`` / ``mine_unit``
+/ ``resolve_units`` for the work-stealing path); merged output is
+bit-identical either way because the serial emission order equals the
+ascending lexicographic order of ``(premise, consequent)`` keys.  The
+Definition 5.2 sweep is global, so it always runs in the coordinating
+process after the deterministic merge.
 """
 
 from __future__ import annotations
@@ -29,24 +38,39 @@ from typing import (
 )
 
 from ..core.blocks import PositionBlock
+from ..core.errors import ConfigurationError
 from ..core.events import EncodedDatabase, EventId
 from ..core.sequence import SequenceDatabase, absolute_support
 from ..core.stats import MiningStats
 from ..engine import (
+    NULL_SPLITTER,
     ExecutionBackend,
     LazyIndexContext,
     PlanResult,
     SerialBackend,
     ShardRunner,
+    UnitOutcome,
+    WorkUnit,
     plan_weighted_roots,
     run_sharded,
 )
+from ..engine.stealing import FrontierFrame, drive_split_subtree
 from .config import RuleMiningConfig
 from .consequent_miner import ConsequentGrower
-from .premise_miner import PremiseMiner, initial_premise_projections
+from .premise_miner import (
+    premise_extensions,
+    initial_premise_projections,
+    project_premise_extension,
+)
 from .redundancy import filter_redundant
 from .result import RuleMiningResult
 from .rule import RecurrentRule
+
+#: Work-unit kinds of the rule search: ``rules`` mines a whole premise
+#: subtree (consequent growth included), ``consequent`` runs the deferred
+#: consequent growth of a single premise.
+RULES_UNIT = "rules"
+CONSEQUENT_UNIT = "consequent"
 
 
 class RuleRecord(NamedTuple):
@@ -192,33 +216,142 @@ class RecurrentRuleMinerBase:
     def mine_root(
         self, context: RuleSearchContext, root: EventId, stats: MiningStats
     ) -> List[RuleRecord]:
-        """Mine every rule whose premise starts with ``root``."""
-        premise_miner = PremiseMiner(
-            min_s_support=context.min_s_support,
-            max_length=self.config.max_premise_length,
-            stats=stats,
-            allowed_events=context.allowed_events,
+        """Mine every rule whose premise starts with ``root``.
+
+        The static shard path: one rules unit, never split.
+        """
+        return self.mine_unit(
+            context, WorkUnit(RULES_UNIT, root, (root,)), stats, NULL_SPLITTER
         )
+
+    def initial_units(
+        self, context: RuleSearchContext, plan: PlanResult
+    ) -> List[WorkUnit]:
+        """One rules unit per frequent root premise, weighted by s-support."""
+        return [
+            WorkUnit(RULES_UNIT, root, (root,), weight) for root, weight in plan.roots
+        ]
+
+    def mine_unit(
+        self,
+        context: RuleSearchContext,
+        unit: WorkUnit,
+        stats: MiningStats,
+        splitter: Any,
+    ) -> List[RuleRecord]:
+        """Execute one work unit: a premise subtree or one deferred grower."""
         records: List[RuleRecord] = []
-        for premise in premise_miner.grow_from_root(
-            context.encoded, root, context.initial[root]
-        ):
-            grower = ConsequentGrower(
-                encoded_db=context.encoded,
-                index=context.index,
-                premise=premise.pattern,
-                premise_projections=premise.projections,
-                config=self.config,
-                stats=stats,
+        if unit.kind == CONSEQUENT_UNIT:
+            projections = self._replay_projections(context, unit.path, stats)
+            self._grow_consequents(context, unit.path, projections, records, stats)
+            return records
+        if unit.kind != RULES_UNIT:
+            raise ConfigurationError(f"unknown rule work-unit kind {unit.kind!r}")
+        projections = self._replay_projections(context, unit.path, stats)
+
+        def visit_child(
+            frame: FrontierFrame, event: EventId, child_projections: PositionBlock
+        ) -> "Optional[FrontierFrame]":
+            return self._visit_premise(
+                context, frame.key + (event,), child_projections, records, stats, splitter
             )
-            for grown in grower.grow(skip_dominated=self.skip_dominated):
-                records.append(
-                    RuleRecord(
-                        premise=premise.pattern,
-                        consequent=grown.consequent,
-                        s_support=grown.s_support,
-                        i_support=grown.i_support,
-                        confidence=grown.confidence,
-                    )
-                )
+
+        drive_split_subtree(
+            self._visit_premise(context, unit.path, projections, records, stats, splitter),
+            visit_child,
+            context.min_s_support,
+            splitter,
+            stats,
+            RULES_UNIT,
+        )
         return records
+
+    def resolve_units(self, outcomes: List[UnitOutcome]) -> List[RuleRecord]:
+        """Reassemble unit outcomes into the canonical serial record order.
+
+        Premises are emitted depth-first over children in ascending event
+        order and each premise's consequents likewise, so the serial rule
+        order is exactly the ascending lexicographic order of the
+        ``(premise, consequent)`` pairs — whichever unit produced each.
+        """
+        records: List[RuleRecord] = []
+        for outcome in outcomes:
+            records.extend(outcome.records)
+        records.sort(key=lambda record: (record.premise, record.consequent))
+        return records
+
+    # ------------------------------------------------------------------ #
+    # Unit-search internals
+    # ------------------------------------------------------------------ #
+    def _replay_projections(
+        self,
+        context: RuleSearchContext,
+        path: Tuple[EventId, ...],
+        stats: MiningStats,
+    ) -> PositionBlock:
+        """Re-derive a split premise's projections by replaying its path."""
+        projections = context.initial[path[0]]
+        for event in path[1:]:
+            projections = project_premise_extension(context.index, projections, event)
+            stats.bump("steal_replayed_rows", len(projections))
+        return projections
+
+    def _visit_premise(
+        self,
+        context: RuleSearchContext,
+        premise: Tuple[EventId, ...],
+        projections: PositionBlock,
+        records: List[RuleRecord],
+        stats: MiningStats,
+        splitter: Any,
+    ) -> "Optional[FrontierFrame]":
+        """Visit one premise node: grow (or defer) its rules, open its frame."""
+        stats.visited += 1
+        # Consequent growth is the heavy phase behind each premise; when
+        # the pool is hungry it leaves as its own unit, with the premise's
+        # supporting-sequence count as the cost hint.
+        if splitter.should_offload(len(projections)):
+            splitter.submit(
+                [WorkUnit(CONSEQUENT_UNIT, premise[0], premise, len(projections))]
+            )
+            stats.bump("consequent_offloads")
+        else:
+            self._grow_consequents(context, premise, projections, records, stats)
+
+        if (
+            self.config.max_premise_length is not None
+            and len(premise) >= self.config.max_premise_length
+        ):
+            return None
+        extensions = premise_extensions(
+            context.encoded, projections, context.allowed_events
+        )
+        return FrontierFrame(premise, None, extensions, sorted(extensions))
+
+    def _grow_consequents(
+        self,
+        context: RuleSearchContext,
+        premise: Tuple[EventId, ...],
+        projections: PositionBlock,
+        records: List[RuleRecord],
+        stats: MiningStats,
+    ) -> None:
+        """Run the consequent grower for one premise, appending its rules."""
+        grower = ConsequentGrower(
+            encoded_db=context.encoded,
+            index=context.index,
+            premise=premise,
+            premise_projections=projections,
+            config=self.config,
+            stats=stats,
+        )
+        for grown in grower.grow(skip_dominated=self.skip_dominated):
+            records.append(
+                RuleRecord(
+                    premise=premise,
+                    consequent=grown.consequent,
+                    s_support=grown.s_support,
+                    i_support=grown.i_support,
+                    confidence=grown.confidence,
+                )
+            )

@@ -28,6 +28,7 @@ from typing import (
 
 from ..core.blocks import PositionBlock, PositionBlockBuilder
 from ..core.events import EncodedDatabase, EventId
+from ..core.positions import PositionIndex
 from ..core.stats import MiningStats
 
 
@@ -69,6 +70,60 @@ def initial_premise_projections(
                 builder = builders[event] = PositionBlockBuilder()
             builder.append(sequence_index, position)
     return {event: builder.build() for event, builder in builders.items()}
+
+
+def premise_extensions(
+    encoded_db: EncodedDatabase,
+    projections: PositionBlock,
+    allowed_events: Optional[FrozenSet[EventId]] = None,
+) -> Dict[EventId, PositionBlock]:
+    """Earliest-occurrence projections of every single-event premise extension.
+
+    Scans the projected suffixes once, recording for every candidate
+    extension event its earliest position after the current embedding.
+    Projections keep their rows in ascending sequence order, so the
+    extension columns come out ascending as well.  Shared by the recursive
+    premise miner and the unit-based rule search.
+    """
+    extensions: Dict[EventId, PositionBlockBuilder] = {}
+    seq_ids = projections.seq_ids
+    positions = projections.positions
+    for row in range(len(seq_ids)):
+        sequence_index = seq_ids[row]
+        position = positions[row]
+        sequence = encoded_db[sequence_index]
+        seen: Dict[EventId, int] = {}
+        for next_position in range(position + 1, len(sequence)):
+            event = sequence[next_position]
+            if event not in seen and (allowed_events is None or event in allowed_events):
+                seen[event] = next_position
+        for event, next_position in seen.items():
+            builder = extensions.get(event)
+            if builder is None:
+                builder = extensions[event] = PositionBlockBuilder()
+            builder.append(sequence_index, next_position)
+    return {event: builder.build() for event, builder in extensions.items()}
+
+
+def project_premise_extension(
+    index: PositionIndex, projections: PositionBlock, event: EventId
+) -> PositionBlock:
+    """The single-event restriction of :func:`premise_extensions`.
+
+    Row-identical to ``premise_extensions(...)[event]`` but answered with
+    one binary search per supporting sequence instead of a suffix scan —
+    the work-unit replay path uses this to re-derive a split premise
+    node's projections along its path.
+    """
+    builder = PositionBlockBuilder()
+    seq_ids = projections.seq_ids
+    positions = projections.positions
+    for row in range(len(seq_ids)):
+        sequence_index = seq_ids[row]
+        next_position = index[sequence_index].first_after(event, positions[row])
+        if next_position is not None:
+            builder.append(sequence_index, next_position)
+    return builder.build()
 
 
 class PremiseMiner:
@@ -125,32 +180,10 @@ class PremiseMiner:
         if self.max_length is not None and len(pattern) >= self.max_length:
             return
 
-        # Scan the projected suffixes once, recording for every candidate
-        # extension event its earliest position after the current embedding.
-        # Projections keep their rows in ascending sequence order, so the
-        # extension columns come out ascending as well.
-        extensions: Dict[EventId, PositionBlockBuilder] = {}
-        seq_ids = projections.seq_ids
-        positions = projections.positions
-        allowed = self.allowed_events
-        for row in range(len(seq_ids)):
-            sequence_index = seq_ids[row]
-            position = positions[row]
-            sequence = encoded_db[sequence_index]
-            seen: Dict[EventId, int] = {}
-            for next_position in range(position + 1, len(sequence)):
-                event = sequence[next_position]
-                if event not in seen and (allowed is None or event in allowed):
-                    seen[event] = next_position
-            for event, next_position in seen.items():
-                builder = extensions.get(event)
-                if builder is None:
-                    builder = extensions[event] = PositionBlockBuilder()
-                builder.append(sequence_index, next_position)
-
+        extensions = premise_extensions(encoded_db, projections, self.allowed_events)
         for event in sorted(extensions):
             extended_projections = extensions[event]
             if len(extended_projections) < self.min_s_support:
                 self.stats.pruned_support += 1
                 continue
-            yield from self._grow(encoded_db, pattern + (event,), extended_projections.build())
+            yield from self._grow(encoded_db, pattern + (event,), extended_projections)

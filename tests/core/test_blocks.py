@@ -23,6 +23,9 @@ from repro.core.projection import (
     backward_extension_events_block,
     forward_extensions,
     forward_extensions_block,
+    project_extension_block,
+    project_rows_in_sequence,
+    singleton_block_of,
     singleton_blocks,
     singleton_instances,
 )
@@ -108,6 +111,82 @@ def test_forward_extensions_block_matches_reference_and_oracle(sequences, patter
         assert extension_block.to_instances() == reference[event]
         # ...and semantically exactly the oracle's instance set.
         assert sorted(extension_block) == sorted(find_instances(encoded, pattern + (event,)))
+
+
+@given(sequences=sequences_strategy, pattern=pattern_strategy)
+@settings(max_examples=60, deadline=None)
+def test_project_extension_block_matches_full_projection(sequences, pattern):
+    """The targeted single-event projection agrees with the full one, row for row."""
+    encoded = _encode(sequences)
+    index = PositionIndex(encoded)
+    pattern = tuple(pattern)
+    base = InstanceBlock.from_instances(find_instances(encoded, pattern))
+    node = AlphabetIndex(index, pattern)
+    full = forward_extensions_block(encoded, index, node, base)
+    for event in range(5):
+        targeted = project_extension_block(encoded, index, node, base, event)
+        if event in full:
+            assert targeted == full[event]
+        else:
+            assert len(targeted) == 0
+
+
+@given(sequences=sequences_strategy, pattern=pattern_strategy)
+@settings(max_examples=60, deadline=None)
+def test_project_rows_in_sequence_matches_block_projection_chain(sequences, pattern):
+    """The per-sequence chained projector stays in lockstep with its block
+    twin: chaining project_extension_block over the whole database and
+    slicing one sequence's group must equal the sequence-local chain."""
+    encoded = _encode(sequences)
+    index = PositionIndex(encoded)
+    pattern = tuple(pattern)
+    nodes = [AlphabetIndex(index, pattern[:1])]
+    for event in pattern[1:]:
+        nodes.append(nodes[-1].extend(event))
+    block = singleton_block_of(index, pattern[0])
+    for step, event in enumerate(pattern[1:]):
+        block = project_extension_block(encoded, index, nodes[step], block, event)
+    by_sequence = {sid: [] for sid in range(len(encoded))}
+    for instance in block:
+        by_sequence[instance.sequence_index].append((instance.start, instance.end))
+    for sid, sequence in enumerate(encoded):
+        positions = index[sid]
+        first = positions.positions_of(pattern[0])
+        rows = project_rows_in_sequence(
+            sequence,
+            positions.table(),
+            nodes,
+            pattern,
+            sid,
+            [(position, position) for position in first],
+        )
+        assert rows == by_sequence[sid]
+
+
+@given(sequences=sequences_strategy)
+@settings(max_examples=40, deadline=None)
+def test_singleton_block_of_matches_singleton_blocks(sequences):
+    encoded = _encode(sequences)
+    index = PositionIndex(encoded)
+    singles = singleton_blocks(encoded)
+    for event, block in singles.items():
+        assert singleton_block_of(index, event) == block
+
+
+@given(sequences=sequences_strategy, pattern=pattern_strategy)
+@settings(max_examples=60, deadline=None)
+def test_wire_block_reconstructs_ends_exactly(sequences, pattern):
+    """Dropping the ends column on the wire loses nothing: the pattern walk
+    at the coordinator rebuilds the identical block (pickled or not)."""
+    encoded = _encode(sequences)
+    pattern = tuple(pattern)
+    block = InstanceBlock.from_instances(find_instances(encoded, pattern))
+    wire = block.to_wire()
+    assert wire.nbytes() < block.nbytes() or len(block) == 0
+    assert wire.to_block(encoded, pattern) == block
+    shipped = pickle.loads(pickle.dumps(wire))
+    assert shipped.to_tuple(encoded, pattern) == block.to_tuple()
+    assert len(pickle.dumps(wire)) < len(pickle.dumps(block))
 
 
 @given(sequences=sequences_strategy, pattern=pattern_strategy)
