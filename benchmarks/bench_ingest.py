@@ -1,0 +1,204 @@
+"""Streaming ingestion + incremental mining benchmark.
+
+Two claims of the ingest subsystem are measured:
+
+* **ingestion throughput** — events/second for streaming a trace file
+  through the format adapters into a :class:`TraceStore`, per format
+  (text, jsonl, csv, and a gzip-wrapped variant), parsing one trace at a
+  time with bounded memory;
+* **incremental re-mine speedup** — on a skewed append (a batch touching
+  a small fraction of the first-level roots), :class:`IncrementalMiner`
+  must re-mine strictly fewer roots than a from-scratch run and finish
+  proportionally faster, with bit-identical output.  Both properties are
+  asserted, not just recorded.
+
+Results go to ``benchmarks/results/ingest.txt`` and are appended as one
+run record to the ``BENCH_hot_paths.json`` trajectory at the repository
+root (``check_bench_regression.py`` compares the newest record against its
+predecessor within the same workload/host lineage; smoke scales write to
+``benchmarks/results/`` instead so they never pollute the canonical
+lineage).  The regression gate watches ``wall_clock_seconds`` = the
+incremental refresh, the path this subsystem optimises.
+
+Scale with ``REPRO_INGEST_SCALE`` (default 1.0; the default workload runs
+in a few seconds on a laptop).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.ingest import IncrementalMiner, TraceStore, TraceRecord, write_trace_records
+from repro.patterns.closed_miner import ClosedIterativePatternMiner
+from repro.patterns.config import IterativeMiningConfig
+
+from conftest import append_bench_record, write_result
+
+SCALE = float(os.environ.get("REPRO_INGEST_SCALE", "1.0"))
+REPO_ROOT = Path(__file__).resolve().parents[1]
+CANONICAL_SCALE = SCALE == 1.0
+JSON_PATH = (
+    REPO_ROOT / "BENCH_hot_paths.json"
+    if CANONICAL_SCALE
+    else Path(__file__).parent / "results" / "BENCH_hot_paths.json"
+)
+
+#: First-level roots in the base corpus; the skewed append touches one.
+NUM_ROOTS = 24
+#: Events per root-local loop body and loop repeats per trace.
+LOOP_BODY = 6
+REPEATS = 8
+MIN_SUPPORT = 4
+MAX_PATTERN_LENGTH = 8
+
+#: Throughput corpus size.
+THROUGHPUT_TRACES = max(8, int(200 * SCALE))
+THROUGHPUT_EVENTS_PER_TRACE = 120
+
+
+def _root_trace(root: int) -> list:
+    """A repetitive trace whose alphabet is private to ``root``.
+
+    Private alphabets keep the first-level subtrees disjoint, so a batch
+    appended for one root leaves every other root's support untouched —
+    the skew the incremental miner is built to exploit.
+    """
+    body = [f"r{root}.e{i}" for i in range(LOOP_BODY)]
+    return body * REPEATS
+
+
+def _base_corpus(scale: float) -> list:
+    traces_per_root = max(2, int(6 * scale))
+    corpus = []
+    for root in range(NUM_ROOTS):
+        corpus.extend(_root_trace(root) for _ in range(traces_per_root))
+    return corpus
+
+
+def _throughput_records() -> list:
+    events = [f"ev{i}" for i in range(64)]
+    return [
+        TraceRecord(
+            tuple(events[(trace * 7 + step) % len(events)] for step in range(THROUGHPUT_EVENTS_PER_TRACE)),
+            f"trace-{trace}",
+        )
+        for trace in range(THROUGHPUT_TRACES)
+    ]
+
+
+def _time_ingest(tmp: Path, filename: str, records: list) -> dict:
+    path = tmp / filename
+    write_trace_records(path, records)
+    store = TraceStore(tmp / f"store-{filename}")
+    start = time.perf_counter()
+    info = store.append_trace_file(path)
+    elapsed = time.perf_counter() - start
+    return {
+        "format": filename.split(".", 1)[1],
+        "traces": info.traces,
+        "events": info.events,
+        "file_bytes": path.stat().st_size,
+        "seconds": round(elapsed, 4),
+        "events_per_second": int(info.events / elapsed) if elapsed > 0 else None,
+    }
+
+
+def bench_ingest(benchmark):
+    miner_config = IterativeMiningConfig(
+        min_support=float(MIN_SUPPORT), max_pattern_length=MAX_PATTERN_LENGTH
+    )
+    with tempfile.TemporaryDirectory() as raw_tmp:
+        tmp = Path(raw_tmp)
+
+        # ------------------------------------------------------------- #
+        # 1. Streaming ingestion throughput per format.
+        # ------------------------------------------------------------- #
+        records = _throughput_records()
+        ingest_rows = [
+            _time_ingest(tmp, filename, records)
+            for filename in ("t.txt", "t.jsonl", "t.csv", "t.jsonl.gz")
+        ]
+
+        # ------------------------------------------------------------- #
+        # 2. Incremental vs. full re-mine on a skewed append.
+        # ------------------------------------------------------------- #
+        store = TraceStore(tmp / "store")
+        store.append_batch(_base_corpus(SCALE))
+        incremental = IncrementalMiner(ClosedIterativePatternMiner(miner_config), store)
+        _, initial_report = incremental.refresh()
+
+        append = [_root_trace(0) for _ in range(2)]
+        store.append_batch(append)
+
+        start = time.perf_counter()
+        result, report = incremental.refresh()
+        incremental_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        full = ClosedIterativePatternMiner(miner_config).mine(store.snapshot())
+        full_seconds = time.perf_counter() - start
+
+        # Correctness first: delta output identical, strictly fewer roots.
+        assert result.patterns == full.patterns
+        assert report.roots_remined < report.roots_total, report
+        assert not report.full_remine
+
+        # One extra refresh as the pytest-benchmark probe (no-op delta).
+        benchmark.pedantic(incremental.refresh, rounds=1, iterations=1)
+
+    speedup = full_seconds / incremental_seconds if incremental_seconds > 0 else float("inf")
+    corpus_events = store.total_events()
+    payload = {
+        "benchmark": "ingest",
+        "workload": {
+            "sequences": len(store),
+            "events": corpus_events,
+            "roots": NUM_ROOTS,
+            "loop_body": LOOP_BODY,
+            "repeats": REPEATS,
+            "min_support": MIN_SUPPORT,
+            "max_pattern_length": MAX_PATTERN_LENGTH,
+            "scale": SCALE,
+            "host_cpus": os.cpu_count(),
+        },
+        "ingest_throughput": ingest_rows,
+        "incremental": {
+            "initial_roots": initial_report.roots_total,
+            "roots_total": report.roots_total,
+            "roots_remined": report.roots_remined,
+            "traces_appended": report.traces_added,
+            "incremental_seconds": round(incremental_seconds, 4),
+            "full_seconds": round(full_seconds, 4),
+            "speedup": round(speedup, 2),
+            "patterns": len(result.patterns),
+        },
+        # The optimised-path cost the regression gate watches.
+        "wall_clock_seconds": round(incremental_seconds, 4),
+    }
+    append_bench_record(JSON_PATH, payload)
+
+    lines = [
+        f"workload: {len(store)} traces, {corpus_events} events, {NUM_ROOTS} roots, "
+        f"min_support={MIN_SUPPORT} (scale {SCALE})",
+        f"{'format':<10} {'traces':>7} {'events':>8} {'bytes':>9} {'seconds':>8} {'events/s':>10}",
+    ]
+    for row in ingest_rows:
+        lines.append(
+            f"{row['format']:<10} {row['traces']:>7} {row['events']:>8} "
+            f"{row['file_bytes']:>9} {row['seconds']:>8.3f} {row['events_per_second']:>10}"
+        )
+    lines += [
+        f"incremental re-mine: {report.roots_remined}/{report.roots_total} roots, "
+        f"{incremental_seconds:.3f}s vs full {full_seconds:.3f}s ({speedup:.2f}x), "
+        "output bit-identical",
+        f"json: {JSON_PATH.name}",
+    ]
+    write_result("ingest", "\n".join(lines))
+
+    # The speedup claim is asserted only on workloads big enough to be
+    # falsifiable; smoke scales still assert bit-identity and root counts.
+    if os.environ.get("REPRO_REQUIRE_SPEEDUP") == "1" or SCALE >= 1.0:
+        assert speedup >= 2.0, f"expected >=2x incremental speedup, got {speedup:.2f}x"

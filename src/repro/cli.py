@@ -4,23 +4,28 @@ Sub-commands cover the full workflow of the paper:
 
 * ``generate``     — create a synthetic QUEST-style dataset (Section 6);
 * ``jboss``        — produce the simulated JBoss case-study traces (Section 7);
+* ``ingest``       — stream trace files into an append-only trace store;
 * ``mine-patterns``— mine frequent / closed iterative patterns (Section 4);
 * ``mine-rules``   — mine full / non-redundant recurrent rules (Section 5);
 * ``monitor``      — check a specification repository against traces.
 
 Every command reads and writes the trace formats of :mod:`repro.traces.io`
-and prints small plain-text reports; mined specifications can be saved as a
-JSON repository (see :class:`repro.specs.SpecificationRepository`).
+(text / jsonl / csv, each with a transparent ``.gz`` variant) and prints
+small plain-text reports; mined specifications can be saved as a JSON
+repository (see :class:`repro.specs.SpecificationRepository`).  The mining
+commands accept either a flat trace file (``--input``) or a trace store
+(``--store``, optionally appending new files first with ``--append``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .analysis.reporting import format_table
-from .core.errors import ConfigurationError
+from .core.errors import ConfigurationError, DataFormatError
 from .datagen.profiles import PAPER_PROFILE, generate_profile
 from .engine import BACKEND_CHOICES, ExecutionBackend, resolve_backend
 from .jboss.workloads import (
@@ -34,9 +39,19 @@ from .patterns.full_miner import FullIterativePatternMiner
 from .rules.config import RuleMiningConfig
 from .rules.full_miner import FullRecurrentRuleMiner
 from .rules.nonredundant_miner import NonRedundantRecurrentRuleMiner
+from .ingest.formats import (
+    DEFAULT_BATCH_SIZE,
+    format_for_path,
+    stream_batches,
+    stream_traces,
+)
+from .ingest.store import TraceStore
 from .specs.repository import SpecificationRepository
 from .traces.io import read_traces, write_traces
 from .verification.monitor import RuleMonitor
+
+#: Shared help string for every ``--format`` option.
+_FORMAT_HELP = "text | jsonl | csv (suffix .gz for the gzip-wrapped variants)"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -51,7 +66,7 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--scale", type=float, default=0.1, help="scale factor for D and N")
     generate.add_argument("--seed", type=int, default=None, help="random seed override")
     generate.add_argument("--output", required=True, help="output trace file")
-    generate.add_argument("--format", default=None, help="text | jsonl | csv")
+    generate.add_argument("--format", default=None, help=_FORMAT_HELP)
 
     jboss = subparsers.add_parser("jboss", help="generate the simulated JBoss case-study traces")
     jboss.add_argument(
@@ -61,11 +76,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="which simulated component to exercise",
     )
     jboss.add_argument("--output", required=True, help="output trace file")
-    jboss.add_argument("--format", default=None, help="text | jsonl | csv")
+    jboss.add_argument("--format", default=None, help=_FORMAT_HELP)
+
+    ingest = subparsers.add_parser(
+        "ingest", help="stream trace files into an append-only trace store"
+    )
+    ingest.add_argument("--store", required=True, help="trace store directory")
+    ingest.add_argument(
+        "--input",
+        nargs="+",
+        default=[],
+        help="trace files to append (without any, prints the store's stats)",
+    )
+    ingest.add_argument("--format", default=None, help=_FORMAT_HELP)
+    ingest.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=DEFAULT_BATCH_SIZE,
+        help=f"traces per appended batch (default {DEFAULT_BATCH_SIZE}, keeping "
+        "memory bounded on huge files; pass a larger value for fewer batches)",
+    )
 
     patterns = subparsers.add_parser("mine-patterns", help="mine iterative patterns")
-    patterns.add_argument("--input", required=True, help="input trace file")
-    patterns.add_argument("--format", default=None, help="text | jsonl | csv")
+    _add_source_arguments(patterns)
     patterns.add_argument("--min-support", type=float, default=2.0)
     patterns.add_argument("--max-length", type=int, default=None)
     patterns.add_argument("--full", action="store_true", help="mine all frequent patterns")
@@ -74,8 +107,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_engine_arguments(patterns)
 
     rules = subparsers.add_parser("mine-rules", help="mine recurrent rules")
-    rules.add_argument("--input", required=True, help="input trace file")
-    rules.add_argument("--format", default=None, help="text | jsonl | csv")
+    _add_source_arguments(rules)
     rules.add_argument("--min-s-support", type=float, default=2.0)
     rules.add_argument("--min-i-support", type=int, default=1)
     rules.add_argument("--min-confidence", type=float, default=0.5)
@@ -88,7 +120,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     monitor = subparsers.add_parser("monitor", help="check rules against traces")
     monitor.add_argument("--input", required=True, help="input trace file")
-    monitor.add_argument("--format", default=None, help="text | jsonl | csv")
+    monitor.add_argument("--format", default=None, help=_FORMAT_HELP)
     monitor.add_argument("--specs", required=True, help="JSON specification repository")
     monitor.add_argument("--max-violations", type=int, default=10, help="violations to print")
 
@@ -103,6 +135,97 @@ def _positive_int(value: str) -> int:
     if workers < 1:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {value!r}")
     return workers
+
+
+def _add_source_arguments(subparser: argparse.ArgumentParser) -> None:
+    """Trace-source options shared by the mining commands."""
+    subparser.add_argument("--input", default=None, help="input trace file")
+    subparser.add_argument("--format", default=None, help=_FORMAT_HELP)
+    subparser.add_argument(
+        "--store",
+        default=None,
+        help="mine a trace-store snapshot instead of a flat file",
+    )
+    subparser.add_argument(
+        "--append",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="append this trace file to the existing --store before mining "
+        "(repeatable; create the store with `repro ingest` first)",
+    )
+
+
+def _validate_trace_inputs(paths: List[str], format: Optional[str]) -> Optional[str]:
+    """Path-level validation shared by ingest and --append: an error
+    message, or None when every path looks like a readable trace file."""
+    for path in paths:
+        try:
+            format_for_path(path, format)
+        except DataFormatError as error:
+            return str(error)
+        if not Path(path).is_file():
+            return f"no trace file at {path}"
+    return None
+
+
+def _annotated_stream(path: str, format: Optional[str]):
+    """Stream one file's traces, prefixing parse errors with the path."""
+    try:
+        yield from stream_traces(path, format=format)
+    except DataFormatError as error:
+        raise DataFormatError(f"{path}: {error}") from error
+
+
+def _load_mining_database(args: argparse.Namespace):
+    """Resolve --input/--store/--append into a database, or None on misuse."""
+    if (args.input is None) == (args.store is None):
+        print("error: pass exactly one of --input or --store", file=sys.stderr)
+        return None
+    if args.append and args.store is None:
+        print("error: --append requires --store", file=sys.stderr)
+        return None
+    if args.input is not None:
+        return read_traces(args.input, format=args.format)
+    try:
+        # Only the ingest command may create a store: a typo'd --store
+        # path must be a loud error (even with --append), never a quietly
+        # mined empty — or nearly empty — fresh store.
+        store = TraceStore.open(args.store)
+    except DataFormatError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None
+    failure = _validate_trace_inputs(args.append, args.format)
+    if failure is not None:
+        print(f"error: {failure}", file=sys.stderr)
+        return None
+    # All-or-nothing across every --append file: a parse error anywhere
+    # commits nothing, so fixing the bad file and re-running the same
+    # command cannot duplicate the good files' traces.
+    try:
+        batches = store.append_batches(
+            _annotated_stream(path, args.format) for path in args.append
+        )
+    except DataFormatError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None
+    # Progress goes to stderr: the mining commands' stdout is the mined
+    # report and must stay machine-readable (diff-able across sources).
+    for batch in batches:
+        print(
+            f"appended batch {batch.index}: {batch.traces} traces ({batch.events} events)",
+            file=sys.stderr,
+        )
+    if not len(store):
+        print(f"error: store {args.store} holds no traces; ingest some first", file=sys.stderr)
+        return None
+    description = store.describe()
+    print(
+        f"store {args.store}: {description['traces']} traces in "
+        f"{description['batches']} batches, fingerprint {str(description['fingerprint'])[:12]}",
+        file=sys.stderr,
+    )
+    return store.snapshot()
 
 
 def _add_engine_arguments(subparser: argparse.ArgumentParser) -> None:
@@ -158,8 +281,57 @@ def _command_jboss(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_ingest(args: argparse.Namespace) -> int:
+    # Validate every input before creating or touching the store: a typo'd
+    # path must not leave behind a fresh empty store that later --store
+    # mining would refuse as empty (or, worse, quietly mine).
+    failure = _validate_trace_inputs(args.input, args.format)
+    if failure is not None:
+        print(f"error: {failure}", file=sys.stderr)
+        return 2
+    fresh = not (Path(args.store) / "manifest.json").exists()
+    try:
+        # Stats-only invocations never create: a typo'd store path must
+        # not leave a plausible-looking empty store behind.
+        store = TraceStore(args.store) if args.input else TraceStore.open(args.store)
+    except (DataFormatError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for path in args.input:
+        traces = _annotated_stream(path, args.format)
+        try:
+            # One manifest commit per file: a parse error mid-file commits
+            # none of the file's chunks, so fixing it and re-running never
+            # duplicates traces (earlier *files* stay committed — re-run
+            # with the failed files only).
+            batches = store.append_batches(stream_batches(traces, args.batch_size))
+        except DataFormatError as error:
+            print(f"error: {error}", file=sys.stderr)
+            if fresh:
+                # Nothing was ever committed: remove the store we created
+                # so a later --store mine fails loudly instead of finding
+                # a plausible-looking empty corpus.
+                store.discard_if_empty()
+            return 2
+        for batch in batches:
+            print(
+                f"appended batch {batch.index} from {path}: "
+                f"{batch.traces} traces ({batch.events} events)"
+            )
+    description = store.describe()
+    print(
+        f"store {args.store}: {description['traces']} traces "
+        f"({description['events']} events, {description['distinct_events']} distinct) "
+        f"in {description['batches']} batches, {description['bytes']} bytes, "
+        f"fingerprint {str(description['fingerprint'])[:12] or '-'}"
+    )
+    return 0
+
+
 def _command_mine_patterns(args: argparse.Namespace) -> int:
-    database = read_traces(args.input, format=args.format)
+    database = _load_mining_database(args)
+    if database is None:
+        return 2
     config = IterativeMiningConfig(
         min_support=args.min_support,
         max_pattern_length=args.max_length,
@@ -187,7 +359,9 @@ def _command_mine_patterns(args: argparse.Namespace) -> int:
 
 
 def _command_mine_rules(args: argparse.Namespace) -> int:
-    database = read_traces(args.input, format=args.format)
+    database = _load_mining_database(args)
+    if database is None:
+        return 2
     config = RuleMiningConfig(
         min_s_support=args.min_s_support,
         min_i_support=args.min_i_support,
@@ -237,6 +411,7 @@ def _command_monitor(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "generate": _command_generate,
     "jboss": _command_jboss,
+    "ingest": _command_ingest,
     "mine-patterns": _command_mine_patterns,
     "mine-rules": _command_mine_rules,
     "monitor": _command_monitor,

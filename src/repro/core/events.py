@@ -72,6 +72,17 @@ class EventVocabulary:
         self._labels.append(label)
         return new_id
 
+    def truncate(self, size: int) -> None:
+        """Drop the labels with ids ``>= size`` (rollback of failed interning).
+
+        The vocabulary is append-only for everyone who can observe an id;
+        this is the one sanctioned exception: undoing interning done on
+        behalf of work that was rolled back before anything referenced the
+        new ids (the trace store uses it when an append fails mid-batch).
+        """
+        while len(self._labels) > size:
+            del self._label_to_id[self._labels.pop()]
+
     def id_of(self, label: EventLabel) -> EventId:
         """Return the id for ``label`` or raise :class:`VocabularyError`."""
         try:

@@ -108,6 +108,20 @@ class PositionIndex:
     def __getitem__(self, sequence_index: int) -> SequencePositions:
         return self._per_sequence[sequence_index]
 
+    def extend(
+        self, encoded_sequences: TypingSequence[TypingSequence[EventId]]
+    ) -> None:
+        """Index newly appended sequences without touching existing entries.
+
+        Per-sequence indexes are independent, so an append-only database
+        extension costs O(new events) — this is what lets incremental
+        mining keep one live index across store appends instead of
+        rebuilding it from the whole corpus.
+        """
+        self._per_sequence.extend(
+            SequencePositions(sequence) for sequence in encoded_sequences
+        )
+
     def sequence_support(self, event: EventId) -> int:
         """Number of sequences in which ``event`` occurs at least once."""
         return sum(1 for positions in self._per_sequence if positions.count(event) > 0)

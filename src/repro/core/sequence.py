@@ -120,6 +120,27 @@ class SequenceDatabase:
         self._names.append(name)
         return len(self._encoded) - 1
 
+    def add_encoded(
+        self, events: TypingSequence[EventId], name: Optional[str] = None
+    ) -> int:
+        """Append an already-encoded sequence and return its index.
+
+        The ids must come from this database's vocabulary (the streaming
+        ingest layer interns once and hands encoded traces around); unknown
+        ids are rejected so a decode later cannot fail.
+        """
+        size = len(self.vocabulary)
+        encoded = tuple(events)
+        for event in encoded:
+            if not 0 <= event < size:
+                raise DataFormatError(
+                    f"encoded sequence uses unknown event id {event} "
+                    f"(vocabulary has {size} labels)"
+                )
+        self._encoded.append(encoded)
+        self._names.append(name)
+        return len(self._encoded) - 1
+
     # ------------------------------------------------------------------ #
     # Accessors
     # ------------------------------------------------------------------ #

@@ -36,7 +36,7 @@ shipping bulky indexes over the wire.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence as TypingSequence, Tuple
 
 from ..core.events import EncodedDatabase, EventId
 from ..core.positions import PositionIndex
@@ -98,6 +98,20 @@ class LazyIndexContext:
             self._index = PositionIndex(self.encoded)
         return self._index
 
+    def absorb_appended(
+        self, new_sequences: "TypingSequence[TypingSequence[int]]"
+    ) -> None:
+        """Absorb sequences appended (in place) to ``self.encoded``.
+
+        The live index is extended with just the new sequences instead of
+        being rebuilt; subclasses additionally invalidate whatever derived
+        caches they keep.  Callers must have appended the same sequences to
+        the ``encoded`` list this context was built over — the incremental
+        miner shares that list with its growing database.
+        """
+        if self._index is not None:
+            self._index.extend(new_sequences)
+
 
 class ShardRunner:
     """Execute shards of a miner's root-parallel search."""
@@ -107,11 +121,16 @@ class ShardRunner:
         miner: Any,
         encoded: EncodedDatabase,
         extras: Optional[Dict[str, Any]] = None,
+        context: Any = None,
     ) -> None:
         self.miner = miner
         self.encoded = encoded
         self.extras: Dict[str, Any] = dict(extras or {})
-        self._context: Any = None
+        # A pre-built context seeds the coordinating process only (it is
+        # dropped at the pickle boundary like any other context): the
+        # incremental miner uses this to keep one live PositionIndex across
+        # store appends instead of rebuilding it every refresh.
+        self._context: Any = context
 
     # ------------------------------------------------------------------ #
     # Lifecycle

@@ -1,0 +1,260 @@
+"""Incremental mining over an append-only :class:`TraceStore`.
+
+A from-scratch mine re-explores every first-level root of the search even
+when an appended batch touched a handful of events.  The key observation
+that makes delta mining sound is *root locality*: the entire subtree below
+a first-level root ``e`` — pattern growth, closure checks, temporal points,
+consequent growth, confidences — is computed exclusively from the sequences
+that contain ``e`` (every instance of a pattern or premise starting with
+``e`` lives in such a sequence).  Appending sequences that do not contain
+``e`` therefore cannot change any record rooted at ``e``, and in an
+append-only store supports only ever grow, so a root absent from the
+appended batches' alphabets keeps its cached records verbatim.
+
+:class:`IncrementalMiner` exploits this through the existing engine: it
+wraps the real miner in a plan filter that keeps only the *touched* roots
+(events appearing in the newly appended batches), runs the filtered plan on
+any :class:`~repro.engine.backend.ExecutionBackend` — serial, process pool
+or work stealing — and merges the fresh records with the cached records of
+untouched roots by the miner's canonical record key.  Because every backend
+already merges deterministically by that same key, the merged output is
+bit-identical to a full re-mine of the concatenated store.  Three events
+force a full re-mine instead: the first refresh, a support threshold whose
+absolute value moved with the database size (relative thresholds), and a
+change in the premise filter's resolved event ids.
+
+Between refreshes the miner keeps the per-run search context alive: the
+:class:`~repro.core.positions.PositionIndex` is *extended* with just the
+appended sequences instead of being rebuilt, and the context's derived
+caches are invalidated, so the serial hot path pays O(new events) — not
+O(corpus) — of indexing per refresh.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.events import EventId
+from ..core.sequence import SequenceDatabase
+from ..core.stats import MiningStats
+from ..engine import ExecutionBackend, PlanResult, SerialBackend, ShardRunner, run_sharded
+from .store import TraceStore
+
+
+@dataclass(frozen=True)
+class RefreshReport:
+    """What one :meth:`IncrementalMiner.refresh` actually did."""
+
+    traces_total: int
+    traces_added: int
+    roots_total: int
+    roots_remined: int
+    full_remine: bool
+    reason: str
+    elapsed_seconds: float
+
+
+class _DeltaPlanMiner:
+    """Engine-protocol wrapper restricting a miner's plan to touched roots.
+
+    Everything except planning delegates to the wrapped miner, so the
+    search below each kept root — and therefore each root's records — is
+    byte-for-byte the search a full mine would run.  ``changed=None``
+    keeps the whole plan (a full re-mine through the same code path).
+    """
+
+    def __init__(self, inner: Any, changed: Optional[FrozenSet[EventId]]) -> None:
+        self.inner = inner
+        self.changed = changed
+        self.planned_total = 0
+        self.planned_kept = 0
+
+    def plan_roots(self, context: Any) -> PlanResult:
+        plan = self.inner.plan_roots(context)
+        self.planned_total = len(plan.roots)
+        if self.changed is None:
+            self.planned_kept = len(plan.roots)
+            return plan
+        kept = tuple(
+            (root, weight) for root, weight in plan.roots if root in self.changed
+        )
+        self.planned_kept = len(kept)
+        return PlanResult(kept, plan.pruned_support)
+
+    def build_context(self, encoded: Any, extras: Dict[str, Any]) -> Any:
+        return self.inner.build_context(encoded, extras)
+
+    def mine_root(self, context: Any, root: EventId, stats: MiningStats) -> Any:
+        return self.inner.mine_root(context, root, stats)
+
+    def initial_units(self, context: Any, plan: PlanResult) -> Any:
+        return self.inner.initial_units(context, plan)
+
+    def mine_unit(self, context: Any, unit: Any, stats: MiningStats, splitter: Any) -> Any:
+        return self.inner.mine_unit(context, unit, stats, splitter)
+
+    def resolve_units(self, outcomes: Any) -> Any:
+        return self.inner.resolve_units(outcomes)
+
+
+class IncrementalMiner:
+    """Keep a miner's output in sync with a growing :class:`TraceStore`.
+
+    Works with any miner implementing the engine protocol plus the
+    incremental hooks on the two miner base classes
+    (``resolved_support_threshold`` / ``runner_extras`` / ``record_root``
+    / ``record_sort_key`` / ``collect_result``): both iterative-pattern
+    miners and both recurrent-rule miners qualify.
+
+    Example
+    -------
+    >>> miner = IncrementalMiner(ClosedIterativePatternMiner(config), store)
+    >>> result, report = miner.refresh()        # full mine of the store
+    >>> store.append_batch(new_traces)
+    >>> result, report = miner.refresh()        # delta: touched roots only
+    """
+
+    def __init__(
+        self,
+        miner: Any,
+        store: TraceStore,
+        backend: Optional[ExecutionBackend] = None,
+    ) -> None:
+        for hook in (
+            "resolved_support_threshold",
+            "runner_extras",
+            "record_root",
+            "record_sort_key",
+            "collect_result",
+        ):
+            if not hasattr(miner, hook):
+                raise ConfigurationError(
+                    f"{type(miner).__name__} does not implement the incremental "
+                    f"mining protocol (missing {hook!r})"
+                )
+        self.miner = miner
+        self.store = store
+        self.backend = backend
+        self._database: Optional[SequenceDatabase] = None
+        self._context: Any = None
+        self._synced_batches = 0
+        # Mining-cache state, committed only after a successful run — a
+        # refresh that raises mid-mine must leave the next refresh seeing
+        # its roots as still dirty, never a silently stale cache.
+        self._cache: Optional[Dict[EventId, Tuple[Any, ...]]] = None
+        self._cache_threshold: Optional[int] = None
+        self._cache_extras: Optional[Dict[str, Any]] = None
+        self._cache_roots_total = 0
+        self._dirty: FrozenSet[EventId] = frozenset()
+
+    @property
+    def database(self) -> Optional[SequenceDatabase]:
+        """The live concatenated database (``None`` before the first refresh)."""
+        return self._database
+
+    def refresh(self, backend: Optional[ExecutionBackend] = None) -> Tuple[Any, RefreshReport]:
+        """Bring the mining result up to date with the store.
+
+        Returns the result — bit-identical to a from-scratch mine of the
+        store's current snapshot — together with a :class:`RefreshReport`
+        saying how much of the search actually ran.
+        """
+        started = time.perf_counter()
+        chosen = backend or self.backend or SerialBackend()
+
+        if self._database is None:
+            # Sharing the store's vocabulary object keeps decoding in sync
+            # as later appends intern new labels; the database itself only
+            # ever receives pre-encoded traces.
+            self._database = SequenceDatabase(self.store.vocabulary)
+        database = self._database
+
+        # Sync the live database with the store.  The fallible reads happen
+        # before any state moves: once the buffered traces are appended the
+        # batch counter advances with them, and the roots they touch join
+        # the *dirty* set — which only a successful mine clears, so a
+        # refresh that dies mid-run leaves them pending for the retry.
+        new_traces = list(self.store.iter_traces(start_batch=self._synced_batches))
+        touched = frozenset(self.store.alphabet_since(self._synced_batches))
+        before = len(database)
+        for trace in new_traces:
+            database.add_encoded(trace.events, name=trace.name)
+        appended = database.encoded[before:]
+        self._synced_batches = len(self.store.batches)
+        self._dirty = self._dirty | touched
+
+        threshold = self.miner.resolved_support_threshold(database)
+        extras = self.miner.runner_extras(database)
+        if self._cache is None:
+            full, reason = True, "initial mine"
+        elif self._cache_threshold != threshold:
+            full, reason = True, (
+                f"support threshold moved {self._cache_threshold} -> {threshold} "
+                "with the database size"
+            )
+        elif self._cache_extras != extras:
+            full, reason = True, "premise event filter resolved differently"
+        elif not self._dirty:
+            full, reason = False, "no new batches"
+        elif appended:
+            full, reason = False, f"{len(appended)} appended traces"
+        else:
+            full, reason = False, f"retrying {len(self._dirty)} dirty roots"
+
+        if full or self._context is None:
+            self._context = self.miner.build_context(database.encoded, extras)
+        elif appended:
+            self._context.absorb_appended(appended)
+
+        stats = MiningStats()
+        stats.start()
+        if not full and not self._dirty:
+            # Nothing to re-mine: rebuild the result straight from the
+            # cache without touching the backend (a polling caller must
+            # not pay pool spin-up and plan/merge for zero work).
+            roots_total, roots_remined = self._cache_roots_total, 0
+            cache = dict(self._cache or {})
+        else:
+            changed = None if full else self._dirty
+            delta = _DeltaPlanMiner(self.miner, changed)
+            runner = ShardRunner(delta, database.encoded, extras, context=self._context)
+            records, search_stats = run_sharded(chosen, runner)
+            stats.merge_counters(search_stats)
+
+            cache = {} if full else dict(self._cache or {})
+            if changed is not None:
+                for root in changed:
+                    cache.pop(root, None)
+            grouped: Dict[EventId, List[Any]] = {}
+            for record in records:
+                grouped.setdefault(self.miner.record_root(record), []).append(record)
+            for root, root_records in grouped.items():
+                cache[root] = tuple(root_records)
+            roots_total, roots_remined = delta.planned_total, delta.planned_kept
+        # The run succeeded: commit the cache state and clear the debt.
+        self._cache = cache
+        self._cache_threshold = threshold
+        self._cache_extras = extras
+        self._cache_roots_total = roots_total
+        self._dirty = frozenset()
+
+        merged: List[Any] = []
+        for root_records in cache.values():
+            merged.extend(root_records)
+        merged.sort(key=self.miner.record_sort_key)
+
+        result = self.miner.collect_result(database, merged, stats)
+        stats.stop()
+        report = RefreshReport(
+            traces_total=len(database),
+            traces_added=len(appended),
+            roots_total=roots_total,
+            roots_remined=roots_remined,
+            full_remine=full,
+            reason=reason,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        return result, report

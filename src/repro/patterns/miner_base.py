@@ -127,6 +127,16 @@ class PatternSearchContext(LazyIndexContext):
             self._singletons = singleton_blocks(self.encoded)
         return self._singletons
 
+    def absorb_appended(self, new_sequences: Any) -> None:
+        """Extend the live index with appended sequences (incremental path).
+
+        The singleton block cache is invalidated rather than extended: it
+        is rebuilt lazily from the grown database on next use, while the
+        position index — the expensive part — grows in place.
+        """
+        super().absorb_appended(new_sequences)
+        self._singletons = None
+
 
 class IterativePatternMinerBase:
     """Template-method base class for the iterative-pattern miners."""
@@ -153,14 +163,30 @@ class IterativePatternMinerBase:
         """
         stats = MiningStats()
         stats.start()
-        result = PatternMiningResult(stats=stats, closed_only=self.closed_only)
-        result.min_support = database.absolute_support(self.config.min_support)
 
         chosen = backend or self.backend or SerialBackend()
-        runner = ShardRunner(self, database.encoded)
+        runner = ShardRunner(self, database.encoded, self.runner_extras(database))
         records, search_stats = run_sharded(chosen, runner)
         stats.merge_counters(search_stats)
 
+        result = self.collect_result(database, records, stats)
+        stats.stop()
+        return result
+
+    def collect_result(
+        self,
+        database: SequenceDatabase,
+        records: List["PatternRecord"],
+        stats: MiningStats,
+    ) -> PatternMiningResult:
+        """Decode merged records into the public result (coordinator side).
+
+        Factored out of :meth:`mine` so the incremental miner can rebuild
+        a result from cached-plus-fresh records through the exact same
+        path a from-scratch mine uses.
+        """
+        result = PatternMiningResult(stats=stats, closed_only=self.closed_only)
+        result.min_support = self.resolved_support_threshold(database)
         vocabulary = database.vocabulary
         encoded = database.encoded
         for record in records:
@@ -177,9 +203,28 @@ class IterativePatternMinerBase:
                     ),
                 )
             )
-
-        stats.stop()
         return result
+
+    # ------------------------------------------------------------------ #
+    # Incremental mining protocol
+    # ------------------------------------------------------------------ #
+    def resolved_support_threshold(self, database: SequenceDatabase) -> int:
+        """The absolute support threshold against the current database size."""
+        return database.absolute_support(self.config.min_support)
+
+    def runner_extras(self, database: SequenceDatabase) -> Dict[str, Any]:
+        """Extra per-run state to ship to the engine workers (none here)."""
+        return {}
+
+    @staticmethod
+    def record_root(record: "PatternRecord") -> EventId:
+        """The first-level root that produced ``record`` (its first event)."""
+        return record.pattern[0]
+
+    @staticmethod
+    def record_sort_key(record: "PatternRecord") -> Tuple[EventId, ...]:
+        """The canonical merge key: serial DFS order == pattern order."""
+        return record.pattern
 
     # ------------------------------------------------------------------ #
     # Engine miner protocol

@@ -111,6 +111,16 @@ class RuleSearchContext(LazyIndexContext):
             self._initial = initial_premise_projections(self.encoded, self.allowed_events)
         return self._initial
 
+    def absorb_appended(self, new_sequences: Any) -> None:
+        """Extend the live index with appended sequences (incremental path).
+
+        The root projection cache is invalidated rather than extended: it
+        is rebuilt lazily from the grown database on next use, while the
+        position index — the expensive part — grows in place.
+        """
+        super().absorb_appended(new_sequences)
+        self._initial = None
+
 
 class RecurrentRuleMinerBase:
     """Template-method base class for the recurrent-rule miners."""
@@ -140,29 +150,37 @@ class RecurrentRuleMinerBase:
         stats = MiningStats()
         stats.start()
 
-        min_s_support = database.absolute_support(self.config.min_s_support)
+        chosen = backend or self.backend or SerialBackend()
+        runner = ShardRunner(self, database.encoded, self.runner_extras(database))
+        records, search_stats = run_sharded(chosen, runner)
+        stats.merge_counters(search_stats)
+
+        result = self.collect_result(database, records, stats)
+        stats.stop()
+        return result
+
+    def collect_result(
+        self,
+        database: SequenceDatabase,
+        records: List["RuleRecord"],
+        stats: MiningStats,
+    ) -> RuleMiningResult:
+        """Decode merged records into the public result (coordinator side).
+
+        The global Definition 5.2 redundancy sweep belongs here — it
+        compares rules across premises, so it must always run over the
+        *complete* merged record set.  Factored out of :meth:`mine` so the
+        incremental miner can rebuild a result from cached-plus-fresh
+        records through the exact same path a from-scratch mine uses.
+        """
         result = RuleMiningResult(
             stats=stats,
-            min_s_support=min_s_support,
+            min_s_support=self.resolved_support_threshold(database),
             min_i_support=self.config.min_i_support,
             min_confidence=self.config.min_confidence,
             non_redundant_only=self.non_redundant_only,
         )
-
         vocabulary = database.vocabulary
-        extras: Dict[str, Any] = {}
-        if self.config.allowed_premise_events is not None:
-            extras["allowed_event_ids"] = frozenset(
-                vocabulary.id_of(label)
-                for label in self.config.allowed_premise_events
-                if label in vocabulary
-            )
-
-        chosen = backend or self.backend or SerialBackend()
-        runner = ShardRunner(self, database.encoded, extras)
-        records, search_stats = run_sharded(chosen, runner)
-        stats.merge_counters(search_stats)
-
         for record in records:
             result.rules.append(
                 RecurrentRule(
@@ -173,14 +191,40 @@ class RecurrentRuleMinerBase:
                     confidence=record.confidence,
                 )
             )
-
         if self.apply_final_redundancy_filter:
             kept, dropped = filter_redundant(result.rules)
             result.rules = kept
             stats.pruned_redundancy += len(dropped)
-
-        stats.stop()
         return result
+
+    # ------------------------------------------------------------------ #
+    # Incremental mining protocol
+    # ------------------------------------------------------------------ #
+    def resolved_support_threshold(self, database: SequenceDatabase) -> int:
+        """The absolute sequence-support threshold against the current size."""
+        return database.absolute_support(self.config.min_s_support)
+
+    def runner_extras(self, database: SequenceDatabase) -> Dict[str, Any]:
+        """Resolve the configured premise label filter to current event ids."""
+        extras: Dict[str, Any] = {}
+        if self.config.allowed_premise_events is not None:
+            vocabulary = database.vocabulary
+            extras["allowed_event_ids"] = frozenset(
+                vocabulary.id_of(label)
+                for label in self.config.allowed_premise_events
+                if label in vocabulary
+            )
+        return extras
+
+    @staticmethod
+    def record_root(record: "RuleRecord") -> EventId:
+        """The first-level root that produced ``record`` (premise head)."""
+        return record.premise[0]
+
+    @staticmethod
+    def record_sort_key(record: "RuleRecord") -> Tuple[Tuple[EventId, ...], ...]:
+        """The canonical merge key: serial order == (premise, consequent)."""
+        return (record.premise, record.consequent)
 
     # ------------------------------------------------------------------ #
     # Engine miner protocol

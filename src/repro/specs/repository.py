@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from ..core.errors import DataFormatError
 from ..core.events import EventLabel
@@ -29,6 +29,9 @@ class SpecificationRepository:
         self.name = name
         self._patterns: List[MinedPattern] = []
         self._rules: List[RecurrentRule] = []
+        #: Provenance of the last refresh (store fingerprint and corpus
+        #: statistics), round-tripped through the JSON form when present.
+        self.source: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------ #
     # Insertion
@@ -82,15 +85,62 @@ class SpecificationRepository:
         return [rule.to_ltl() for rule in self._rules]
 
     # ------------------------------------------------------------------ #
+    # Refreshing from a trace store
+    # ------------------------------------------------------------------ #
+    def refresh_from_store(
+        self,
+        store,
+        pattern_miner=None,
+        rule_miner=None,
+        backend=None,
+    ) -> "SpecificationRepository":
+        """Replace this repository's contents from a trace-store snapshot.
+
+        ``store`` is a :class:`~repro.ingest.store.TraceStore` (duck-typed:
+        anything with ``snapshot()``/``describe()``); at least one of
+        ``pattern_miner``/``rule_miner`` must be given and is run over the
+        snapshot on the chosen backend.  The store's chained content
+        fingerprint and corpus statistics are recorded in :attr:`source`,
+        so a saved repository says exactly which corpus state it reflects.
+        """
+        if pattern_miner is None and rule_miner is None:
+            raise DataFormatError(
+                "refresh_from_store needs a pattern_miner and/or a rule_miner"
+            )
+        database = store.snapshot()
+        # Mine before replacing anything: a miner that raises mid-run must
+        # leave the repository exactly as it was, not emptied.
+        patterns: List[MinedPattern] = []
+        rules: List[RecurrentRule] = []
+        if pattern_miner is not None:
+            patterns = list(pattern_miner.mine(database, backend=backend).patterns)
+        if rule_miner is not None:
+            rules = list(rule_miner.mine(database, backend=backend).rules)
+        self._patterns = patterns
+        self._rules = rules
+        description = store.describe()
+        self.source = {
+            "store": description.get("directory"),
+            "fingerprint": description.get("fingerprint"),
+            "batches": description.get("batches"),
+            "traces": description.get("traces"),
+            "events": description.get("events"),
+        }
+        return self
+
+    # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, object]:
         """JSON-friendly representation of the whole repository."""
-        return {
+        payload: Dict[str, object] = {
             "name": self.name,
             "patterns": [pattern.as_dict() for pattern in self._patterns],
             "rules": [rule.as_dict() for rule in self._rules],
         }
+        if self.source is not None:
+            payload["source"] = self.source
+        return payload
 
     def save(self, path: PathLike) -> None:
         """Write the repository to a JSON file."""
@@ -102,6 +152,9 @@ class SpecificationRepository:
         if not isinstance(payload, dict) or "patterns" not in payload or "rules" not in payload:
             raise DataFormatError("not a specification repository payload")
         repository = cls(name=str(payload.get("name", "specifications")))
+        source = payload.get("source")
+        if isinstance(source, dict):
+            repository.source = source
         for entry in payload["patterns"]:
             repository.add_pattern(
                 MinedPattern(events=tuple(entry["events"]), support=int(entry["support"]))

@@ -1,121 +1,99 @@
 """Reading and writing trace databases.
 
 Three interchange formats are supported, all line-oriented and dependency
-free:
+free, each with a transparent gzip-wrapped variant (``.txt.gz``,
+``.jsonl.gz``, ``.csv.gz``):
 
 * **text** — one event label per line, blank line between traces, optional
   ``# name`` comment naming the following trace (the format produced by most
   ad-hoc instrumentation scripts);
 * **jsonl** — one JSON object per line: ``{"name": ..., "events": [...]}``;
 * **csv** — ``trace_id,position,event`` rows with a header.
+
+Parsing and serialisation live in the streaming adapters of
+:mod:`repro.ingest.formats`; this module is the thin whole-database
+convenience layer on top, so the batch readers and the streaming ingestion
+path can never drift apart.  For bounded-memory access to large files, use
+:func:`repro.ingest.formats.stream_traces` directly.
 """
 
 from __future__ import annotations
 
-import csv
-import json
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Optional, Union
 
-from ..core.errors import DataFormatError
 from ..core.sequence import SequenceDatabase
+from ..ingest.formats import (
+    TraceRecord,
+    adapter_for,
+    format_for_path,
+    iter_csv_rows,
+    open_trace_text,
+    stream_traces,
+    write_trace_records,
+)
 
 PathLike = Union[str, Path]
 
 
+def _database_records(database: SequenceDatabase):
+    """The database's traces as stringified streaming records."""
+    for index in range(len(database)):
+        yield TraceRecord(
+            tuple(str(event) for event in database[index]), database.name(index)
+        )
+
+
+def _collect(records) -> SequenceDatabase:
+    """Materialise a record stream into a database."""
+    database = SequenceDatabase()
+    for record in records:
+        database.add(record.events, name=record.name)
+    return database
+
+
 # ---------------------------------------------------------------------- #
-# Plain text
+# Per-format convenience wrappers (whole-database, path-based)
 # ---------------------------------------------------------------------- #
 def write_text(database: SequenceDatabase, path: PathLike) -> None:
     """Write a database in the plain-text format."""
-    lines: List[str] = []
-    for index in range(len(database)):
-        name = database.name(index)
-        if name:
-            lines.append(f"# {name}")
-        lines.extend(str(event) for event in database[index])
-        lines.append("")
-    Path(path).write_text("\n".join(lines), encoding="utf-8")
+    write_trace_records(path, _database_records(database), format="text")
 
 
 def read_text(path: PathLike) -> SequenceDatabase:
     """Read a database from the plain-text format."""
-    database = SequenceDatabase()
-    current: List[str] = []
-    current_name: Optional[str] = None
-    for raw_line in Path(path).read_text(encoding="utf-8").splitlines():
-        line = raw_line.strip()
-        if not line:
-            if current:
-                database.add(current, name=current_name)
-            current, current_name = [], None
-            continue
-        if line.startswith("#"):
-            current_name = line.lstrip("#").strip() or None
-            continue
-        current.append(line)
-    if current:
-        database.add(current, name=current_name)
-    return database
+    return _collect(stream_traces(path, format="text"))
 
 
-# ---------------------------------------------------------------------- #
-# JSON lines
-# ---------------------------------------------------------------------- #
 def write_jsonl(database: SequenceDatabase, path: PathLike) -> None:
     """Write a database with one JSON object per trace."""
-    with Path(path).open("w", encoding="utf-8") as handle:
-        for index in range(len(database)):
-            record = {"name": database.name(index), "events": list(map(str, database[index]))}
-            handle.write(json.dumps(record) + "\n")
+    write_trace_records(path, _database_records(database), format="jsonl")
 
 
 def read_jsonl(path: PathLike) -> SequenceDatabase:
     """Read a database written by :func:`write_jsonl`."""
-    database = SequenceDatabase()
-    for line_number, line in enumerate(Path(path).read_text(encoding="utf-8").splitlines(), 1):
-        if not line.strip():
-            continue
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError as error:
-            raise DataFormatError(f"invalid JSON on line {line_number}: {error}") from error
-        if not isinstance(record, dict) or "events" not in record:
-            raise DataFormatError(f"line {line_number} is not a trace record: {line!r}")
-        database.add(list(record["events"]), name=record.get("name"))
-    return database
+    return _collect(stream_traces(path, format="jsonl"))
 
 
-# ---------------------------------------------------------------------- #
-# CSV
-# ---------------------------------------------------------------------- #
 def write_csv(database: SequenceDatabase, path: PathLike) -> None:
     """Write a database as ``trace_id,position,event`` rows."""
-    with Path(path).open("w", encoding="utf-8", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(["trace_id", "position", "event"])
-        for index in range(len(database)):
-            for position, event in enumerate(database[index]):
-                writer.writerow([index, position, str(event)])
+    write_trace_records(path, _database_records(database), format="csv")
 
 
-def read_csv(path: PathLike) -> SequenceDatabase:
-    """Read a database written by :func:`write_csv`."""
-    rows_by_trace: Dict[int, List[tuple]] = {}
-    with Path(path).open("r", encoding="utf-8", newline="") as handle:
-        reader = csv.DictReader(handle)
-        required = {"trace_id", "position", "event"}
-        if reader.fieldnames is None or not required.issubset(set(reader.fieldnames)):
-            raise DataFormatError(
-                f"CSV trace file must have columns {sorted(required)}, got {reader.fieldnames}"
-            )
-        for row in reader:
-            try:
-                trace_id = int(row["trace_id"])
-                position = int(row["position"])
-            except (TypeError, ValueError) as error:
-                raise DataFormatError(f"invalid CSV trace row: {row!r}") from error
-            rows_by_trace.setdefault(trace_id, []).append((position, row["event"]))
+def _collect_csv(path: PathLike) -> SequenceDatabase:
+    """Whole-file CSV semantics: buffer the rows, sort by trace_id.
+
+    The streaming adapter requires contiguous per-trace runs (it cannot
+    sort what it has not read); the whole-file reader keeps the historical
+    behaviour instead — rows may be interleaved and traces come back
+    ordered by their numeric trace_id.  Both sit on the same
+    :func:`~repro.ingest.formats.iter_csv_rows` grammar, so header
+    validation and row parsing cannot drift."""
+    _, gzipped = format_for_path(path, "csv")
+    rows_by_trace: Dict[int, list] = {}
+    with open_trace_text(path, "r", gzipped) as handle:
+        for trace_id, position, event in iter_csv_rows(handle):
+            rows_by_trace.setdefault(trace_id, []).append((position, event))
     database = SequenceDatabase()
     for trace_id in sorted(rows_by_trace):
         events = [event for _, event in sorted(rows_by_trace[trace_id])]
@@ -123,32 +101,36 @@ def read_csv(path: PathLike) -> SequenceDatabase:
     return database
 
 
+def read_csv(path: PathLike) -> SequenceDatabase:
+    """Read a database written by :func:`write_csv`."""
+    return _collect_csv(path)
+
+
 # ---------------------------------------------------------------------- #
 # Format dispatch
 # ---------------------------------------------------------------------- #
-_WRITERS = {"text": write_text, "jsonl": write_jsonl, "csv": write_csv}
-_READERS = {"text": read_text, "jsonl": read_jsonl, "csv": read_csv}
-_SUFFIX_TO_FORMAT = {".txt": "text", ".trace": "text", ".jsonl": "jsonl", ".csv": "csv"}
-
-
 def _format_for(path: PathLike, explicit: Optional[str]) -> str:
+    """Resolve the format name for ``path`` (validating explicit names).
+
+    ``.gz`` suffixes select the gzip codec underneath the returned format;
+    kept for backward compatibility — new code should call
+    :func:`repro.ingest.formats.format_for_path`, which also reports the
+    codec.
+    """
     if explicit is not None:
-        if explicit not in _WRITERS:
-            raise DataFormatError(f"unknown trace format {explicit!r}")
+        adapter_for(explicit)
         return explicit
-    suffix = Path(path).suffix.lower()
-    if suffix in _SUFFIX_TO_FORMAT:
-        return _SUFFIX_TO_FORMAT[suffix]
-    raise DataFormatError(
-        f"cannot infer trace format from suffix {suffix!r}; pass format= explicitly"
-    )
+    return format_for_path(path)[0]
 
 
 def write_traces(database: SequenceDatabase, path: PathLike, format: Optional[str] = None) -> None:
     """Write ``database`` to ``path`` in the given (or inferred) format."""
-    _WRITERS[_format_for(path, format)](database, path)
+    write_trace_records(path, _database_records(database), format=format)
 
 
 def read_traces(path: PathLike, format: Optional[str] = None) -> SequenceDatabase:
     """Read a trace database from ``path`` in the given (or inferred) format."""
-    return _READERS[_format_for(path, format)](path)
+    resolved = _format_for(path, format)
+    if resolved == "csv":
+        return _collect_csv(path)
+    return _collect(stream_traces(path, format=resolved))

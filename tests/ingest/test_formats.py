@@ -1,0 +1,137 @@
+"""Streaming format adapters: round trips, laziness, gzip, error paths."""
+
+import gzip
+
+import pytest
+
+from repro.core.errors import DataFormatError
+from repro.core.events import EventVocabulary
+from repro.ingest.formats import (
+    TraceRecord,
+    adapter_for,
+    format_for_path,
+    registered_formats,
+    stream_batches,
+    stream_encoded_traces,
+    stream_traces,
+    write_trace_records,
+)
+
+RECORDS = [
+    TraceRecord(("lock", "use", "unlock"), "first"),
+    TraceRecord(("lock", "unlock"), None),
+    TraceRecord(("a",), "third"),
+]
+
+ALL_PATHS = [
+    "traces.txt",
+    "traces.trace",
+    "traces.jsonl",
+    "traces.csv",
+    "traces.txt.gz",
+    "traces.jsonl.gz",
+    "traces.csv.gz",
+]
+
+
+@pytest.mark.parametrize("filename", ALL_PATHS)
+def test_round_trip_every_format(tmp_path, filename):
+    path = tmp_path / filename
+    assert write_trace_records(path, RECORDS) == len(RECORDS)
+    loaded = list(stream_traces(path))
+    assert [record.events for record in loaded] == [record.events for record in RECORDS]
+    # CSV does not carry names (it synthesises trace-N); the others do.
+    if "csv" not in filename:
+        assert [record.name for record in loaded] == [record.name for record in RECORDS]
+    else:
+        assert [record.name for record in loaded] == ["trace-0", "trace-1", "trace-2"]
+
+
+def test_gz_paths_are_actually_gzip_compressed(tmp_path):
+    path = tmp_path / "traces.jsonl.gz"
+    write_trace_records(path, RECORDS)
+    with gzip.open(path, "rt", encoding="utf-8") as handle:
+        assert "lock" in handle.read()
+    assert path.read_bytes()[:2] == b"\x1f\x8b"  # gzip magic, not plain text
+
+
+def test_format_for_path_resolution():
+    assert format_for_path("a.txt") == ("text", False)
+    assert format_for_path("a.trace") == ("text", False)
+    assert format_for_path("a.jsonl.gz") == ("jsonl", True)
+    assert format_for_path("a.csv", explicit="jsonl") == ("jsonl", False)
+    assert format_for_path("weird.bin", explicit="text") == ("text", False)
+    with pytest.raises(DataFormatError):
+        format_for_path("a.parquet")
+    with pytest.raises(DataFormatError):
+        format_for_path("a.txt", explicit="parquet")
+
+
+def test_registry_contents():
+    assert set(registered_formats()) >= {"text", "jsonl", "csv"}
+    with pytest.raises(DataFormatError):
+        adapter_for("nope")
+
+
+def test_streaming_is_lazy(tmp_path):
+    """The reader must not need the whole file: truncate it mid-stream."""
+    path = tmp_path / "traces.jsonl"
+    write_trace_records(path, [TraceRecord((str(i),), None) for i in range(100)])
+    stream = stream_traces(path)
+    first = next(stream)
+    assert first.events == ("0",)
+    stream.close()
+
+
+def test_text_name_comments_and_blank_runs(tmp_path):
+    path = tmp_path / "traces.txt"
+    path.write_text("# named\na\nb\n\n\n\nc\n", encoding="utf-8")
+    loaded = list(stream_traces(path))
+    assert loaded == [TraceRecord(("a", "b"), "named"), TraceRecord(("c",), None)]
+
+
+def test_jsonl_errors(tmp_path):
+    path = tmp_path / "traces.jsonl"
+    path.write_text("not json\n", encoding="utf-8")
+    with pytest.raises(DataFormatError, match="line 1"):
+        list(stream_traces(path))
+    path.write_text('{"name": "x"}\n', encoding="utf-8")
+    with pytest.raises(DataFormatError, match="not a trace record"):
+        list(stream_traces(path))
+
+
+def test_csv_headers_and_contiguity(tmp_path):
+    path = tmp_path / "traces.csv"
+    path.write_text("wrong,columns\n1,2\n", encoding="utf-8")
+    with pytest.raises(DataFormatError, match="columns"):
+        list(stream_traces(path))
+    # Shuffled positions inside one trace are sorted back.
+    path.write_text(
+        "trace_id,position,event\n0,1,b\n0,0,a\n1,0,c\n", encoding="utf-8"
+    )
+    loaded = list(stream_traces(path))
+    assert [record.events for record in loaded] == [("a", "b"), ("c",)]
+    # A trace id coming back after its run ended cannot stream.
+    path.write_text(
+        "trace_id,position,event\n0,0,a\n1,0,b\n0,1,c\n", encoding="utf-8"
+    )
+    with pytest.raises(DataFormatError, match="not contiguous"):
+        list(stream_traces(path))
+
+
+def test_stream_encoded_traces_interns_labels(tmp_path):
+    path = tmp_path / "traces.txt"
+    write_trace_records(path, RECORDS)
+    vocabulary = EventVocabulary()
+    encoded = list(stream_encoded_traces(path, vocabulary))
+    assert encoded[0].events == (0, 1, 2)
+    assert encoded[1].events == (0, 2)
+    assert vocabulary.labels() == ("lock", "use", "unlock", "a")
+
+
+def test_stream_batches_chunking():
+    batches = list(stream_batches(range(7), batch_size=3))
+    assert batches == [[0, 1, 2], [3, 4, 5], [6]]
+    assert list(stream_batches([], batch_size=3)) == []
+    with pytest.raises(DataFormatError):
+        list(stream_batches(range(3), batch_size=0))

@@ -146,3 +146,67 @@ def test_repository_load_rejects_malformed_files(tmp_path):
     path.write_text('{"something": "else"}', encoding="utf-8")
     with pytest.raises(DataFormatError):
         SpecificationRepository.load(path)
+
+
+def test_repository_refresh_from_store(tmp_path):
+    from repro.engine import SerialBackend
+    from repro.ingest import TraceStore
+    from repro.patterns.closed_miner import ClosedIterativePatternMiner
+    from repro.patterns.config import IterativeMiningConfig
+    from repro.rules.config import RuleMiningConfig
+    from repro.rules.nonredundant_miner import NonRedundantRecurrentRuleMiner
+
+    store = TraceStore(tmp_path / "store")
+    store.append_batch(
+        [["lock", "use", "unlock"], ["lock", "unlock"], ["lock", "use", "unlock"]]
+    )
+    repository = SpecificationRepository(name="from-store")
+    repository.refresh_from_store(
+        store,
+        pattern_miner=ClosedIterativePatternMiner(IterativeMiningConfig(min_support=2)),
+        rule_miner=NonRedundantRecurrentRuleMiner(
+            RuleMiningConfig(min_s_support=2, min_confidence=0.5)
+        ),
+        backend=SerialBackend(),
+    )
+    assert repository.patterns and repository.rules
+    assert repository.source["fingerprint"] == store.fingerprint
+    assert repository.source["traces"] == 3
+
+    # Provenance survives the JSON round trip.
+    path = tmp_path / "specs.json"
+    repository.save(path)
+    loaded = SpecificationRepository.load(path)
+    assert loaded.source == repository.source
+
+    # Appending and refreshing replaces contents and updates provenance.
+    store.append_batch([["lock", "use", "use", "unlock"]])
+    repository.refresh_from_store(
+        store,
+        pattern_miner=ClosedIterativePatternMiner(IterativeMiningConfig(min_support=2)),
+    )
+    assert repository.source["fingerprint"] == store.fingerprint
+    assert repository.source["traces"] == 4
+    assert not repository.rules  # refresh replaces, never accumulates
+
+    with pytest.raises(DataFormatError):
+        repository.refresh_from_store(store)
+
+
+def test_refresh_from_store_failure_leaves_repository_intact(tmp_path):
+    from repro.ingest import TraceStore
+    from repro.patterns.result import MinedPattern
+
+    store = TraceStore(tmp_path / "store")
+    store.append_batch([["a", "b"]])
+    repository = SpecificationRepository(name="intact")
+    repository.add_pattern(MinedPattern(events=("a",), support=3))
+
+    class ExplodingMiner:
+        def mine(self, database, backend=None):
+            raise RuntimeError("worker lost")
+
+    with pytest.raises(RuntimeError):
+        repository.refresh_from_store(store, pattern_miner=ExplodingMiner())
+    assert [pattern.events for pattern in repository.patterns] == [("a",)]
+    assert repository.source is None

@@ -125,3 +125,245 @@ def test_monitor_with_empty_spec_repository(tmp_path, capsys):
 def test_unknown_command_is_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+# --------------------------------------------------------------------- #
+# Streaming ingestion: generate -> ingest -> mine, every format.
+# --------------------------------------------------------------------- #
+ALL_FORMAT_SUFFIXES = [".txt", ".jsonl", ".csv", ".txt.gz", ".jsonl.gz", ".csv.gz"]
+
+
+def _mining_output(text):
+    """The mined report with the summary line's timing stripped."""
+    lines = text.splitlines()
+    return [lines[0].rsplit(", ", 1)[0]] + lines[1:]
+
+
+@pytest.mark.parametrize("suffix", ALL_FORMAT_SUFFIXES)
+def test_generate_ingest_mine_patterns_round_trip(tmp_path, capsys, suffix):
+    """Mining a store snapshot must print the same table as mining the file."""
+    traces = tmp_path / f"synthetic{suffix}"
+    assert main(
+        ["generate", "--profile", "D1C10N1S4", "--scale", "0.05", "--output", str(traces)]
+    ) == 0
+    capsys.readouterr()
+
+    store = tmp_path / "store"
+    assert main(["ingest", "--store", str(store), "--input", str(traces)]) == 0
+    output = capsys.readouterr().out
+    assert "appended batch 0" in output
+    assert "50 traces" in output
+
+    mine = ["--min-support", "10", "--max-length", "3"]
+    assert main(["mine-patterns", "--input", str(traces)] + mine) == 0
+    direct = capsys.readouterr().out
+    assert main(["mine-patterns", "--store", str(store)] + mine) == 0
+    from_store = capsys.readouterr().out
+    # Same mined table and summary (minus timing and the store's header).
+    assert _mining_output(direct) == _mining_output(from_store)
+
+
+@pytest.mark.parametrize("suffix", [".jsonl", ".csv.gz"])
+def test_generate_ingest_mine_rules_round_trip(tmp_path, capsys, suffix):
+    traces = tmp_path / f"security{suffix}"
+    assert main(["jboss", "--component", "security", "--output", str(traces)]) == 0
+    capsys.readouterr()
+
+    store = tmp_path / "store"
+    assert main(["ingest", "--store", str(store), "--input", str(traces)]) == 0
+    capsys.readouterr()
+
+    mine = [
+        "--min-s-support", "0.5", "--min-confidence", "0.6",
+        "--max-premise-length", "1", "--max-consequent-length", "2",
+    ]
+    assert main(["mine-rules", "--input", str(traces)] + mine) == 0
+    direct = capsys.readouterr().out
+    assert main(["mine-rules", "--store", str(store)] + mine) == 0
+    from_store = capsys.readouterr().out
+    assert _mining_output(direct) == _mining_output(from_store)
+
+
+def test_mine_patterns_append_into_store(tmp_path, capsys):
+    first = tmp_path / "first.txt"
+    first.write_text("lock\nuse\nunlock\n\nlock\nunlock\n", encoding="utf-8")
+    second = tmp_path / "second.txt"
+    second.write_text("lock\nread\nunlock\n", encoding="utf-8")
+    store = tmp_path / "store"
+    assert main(["ingest", "--store", str(store), "--input", str(first)]) == 0
+    capsys.readouterr()
+
+    code = main(
+        [
+            "mine-patterns",
+            "--store", str(store),
+            "--append", str(second),
+            "--min-support", "2",
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    # Store progress goes to stderr; stdout stays the machine-readable report.
+    assert "appended batch 1" in captured.err
+    assert "3 traces in 2 batches" in captured.err
+    assert "closed iterative patterns" in captured.out
+    assert "store" not in captured.out
+
+
+def test_ingest_batch_size_splits_files(tmp_path, capsys):
+    traces = tmp_path / "traces.txt"
+    traces.write_text("a\n\nb\n\nc\n\nd\n\ne\n", encoding="utf-8")
+    store = tmp_path / "store"
+    assert main(
+        ["ingest", "--store", str(store), "--input", str(traces), "--batch-size", "2"]
+    ) == 0
+    output = capsys.readouterr().out
+    assert "appended batch 0" in output and "appended batch 2" in output
+    assert "5 traces" in output and "3 batches" in output
+
+
+def test_ingest_without_inputs_prints_stats(tmp_path, capsys):
+    traces = tmp_path / "traces.txt"
+    traces.write_text("a\nb\n", encoding="utf-8")
+    store = tmp_path / "store"
+    assert main(["ingest", "--store", str(store), "--input", str(traces)]) == 0
+    capsys.readouterr()
+    assert main(["ingest", "--store", str(store)]) == 0
+    assert "1 traces" in capsys.readouterr().out
+    # Stats-only invocations never create a store at a typo'd path.
+    missing = tmp_path / "typo-store"
+    assert main(["ingest", "--store", str(missing)]) == 2
+    assert "no trace store" in capsys.readouterr().err
+    assert not missing.exists()
+
+
+def test_append_of_an_empty_file_commits_nothing(tmp_path, capsys):
+    traces = tmp_path / "traces.txt"
+    traces.write_text("a\nb\n\na\nb\n", encoding="utf-8")
+    store = tmp_path / "store"
+    assert main(["ingest", "--store", str(store), "--input", str(traces)]) == 0
+    capsys.readouterr()
+    from repro.ingest import TraceStore
+
+    fingerprint = TraceStore.open(store).fingerprint
+    empty = tmp_path / "empty.txt"
+    empty.write_text("\n\n", encoding="utf-8")
+    assert main(
+        ["mine-patterns", "--store", str(store), "--append", str(empty), "--min-support", "2"]
+    ) == 0
+    capsys.readouterr()
+    reopened = TraceStore.open(store)
+    assert len(reopened.batches) == 1
+    assert reopened.fingerprint == fingerprint
+
+
+def test_ingest_validates_inputs_before_creating_the_store(tmp_path, capsys):
+    """A typo'd input must not leave behind a fresh empty store."""
+    store = tmp_path / "store"
+    missing = tmp_path / "tarces.jsonl"
+    assert main(["ingest", "--store", str(store), "--input", str(missing)]) == 2
+    assert "no trace file" in capsys.readouterr().err
+    assert not store.exists()
+    bad_suffix = tmp_path / "traces.parquet"
+    bad_suffix.write_text("x\n", encoding="utf-8")
+    assert main(["ingest", "--store", str(store), "--input", str(bad_suffix)]) == 2
+    assert "cannot infer trace format" in capsys.readouterr().err
+    assert not store.exists()
+
+
+def test_ingest_parse_error_commits_nothing_for_that_file(tmp_path, capsys):
+    """A file failing mid-parse is a clean error and a no-op on the store."""
+    good = tmp_path / "good.txt"
+    good.write_text("a\nb\n", encoding="utf-8")
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"events": ["a"]}\nnot json\n', encoding="utf-8")
+    store = tmp_path / "store"
+    code = main(
+        ["ingest", "--store", str(store), "--input", str(good), str(bad), "--batch-size", "1"]
+    )
+    assert code == 2
+    captured = capsys.readouterr()
+    assert "invalid JSON" in captured.err
+    # good.txt committed as one batch; no chunk of bad.jsonl did.
+    assert main(["ingest", "--store", str(store)]) == 0
+    stats = capsys.readouterr().out
+    assert "1 traces (2 events" in stats and "in 1 batches" in stats
+
+
+def test_mine_append_with_bad_file_fails_cleanly(tmp_path, capsys):
+    first = tmp_path / "first.txt"
+    first.write_text("a\nb\n", encoding="utf-8")
+    store = tmp_path / "store"
+    assert main(["ingest", "--store", str(store), "--input", str(first)]) == 0
+    capsys.readouterr()
+    good = tmp_path / "good.txt"
+    good.write_text("c\nd\n", encoding="utf-8")
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json\n", encoding="utf-8")
+    code = main(
+        [
+            "mine-patterns", "--store", str(store),
+            "--append", str(good), "--append", str(bad),
+            "--min-support", "2",
+        ]
+    )
+    assert code == 2
+    assert "invalid JSON" in capsys.readouterr().err
+    # All-or-nothing: not even good.txt was appended, so re-running the
+    # fixed command cannot duplicate its traces.
+    assert main(["ingest", "--store", str(store)]) == 0
+    assert "in 1 batches" in capsys.readouterr().out
+
+
+def test_ingest_first_file_parse_error_removes_the_fresh_store(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json\n", encoding="utf-8")
+    store = tmp_path / "store"
+    assert main(["ingest", "--store", str(store), "--input", str(bad)]) == 2
+    assert "invalid JSON" in capsys.readouterr().err
+    assert not store.exists()
+    # And with no store left behind, --store mining stays a loud error.
+    assert main(["mine-patterns", "--store", str(store), "--min-support", "2"]) == 2
+    assert "no trace store" in capsys.readouterr().err
+
+
+def test_mining_an_empty_store_is_a_loud_error(tmp_path, capsys):
+    from repro.ingest import TraceStore
+
+    TraceStore(tmp_path / "store")  # library-level creation of an empty store
+    assert main(
+        ["mine-patterns", "--store", str(tmp_path / "store"), "--min-support", "2"]
+    ) == 2
+    assert "holds no traces" in capsys.readouterr().err
+
+
+def test_mining_source_misuse_is_rejected(tmp_path, capsys):
+    traces = tmp_path / "traces.txt"
+    traces.write_text("a\nb\n", encoding="utf-8")
+    assert main(["mine-patterns", "--min-support", "2"]) == 2
+    assert "exactly one of" in capsys.readouterr().err
+    assert main(
+        ["mine-patterns", "--input", str(traces), "--store", str(tmp_path / "s"),
+         "--min-support", "2"]
+    ) == 2
+    capsys.readouterr()
+    assert main(
+        ["mine-rules", "--input", str(traces), "--append", str(traces)]
+    ) == 2
+    assert "--append requires --store" in capsys.readouterr().err
+
+
+def test_mining_a_missing_store_is_a_loud_error(tmp_path, capsys):
+    """A typo'd --store path must not silently create an empty store."""
+    missing = tmp_path / "no-such.tracestore"
+    assert main(["mine-patterns", "--store", str(missing), "--min-support", "2"]) == 2
+    assert "no trace store" in capsys.readouterr().err
+    assert not missing.exists()
+    # --append does not soften it: mining never creates stores.
+    traces = tmp_path / "traces.txt"
+    traces.write_text("a\nb\n", encoding="utf-8")
+    assert main(
+        ["mine-rules", "--store", str(missing), "--append", str(traces)]
+    ) == 2
+    assert "no trace store" in capsys.readouterr().err
+    assert not missing.exists()

@@ -144,7 +144,19 @@ def io_db():
     return db
 
 
-@pytest.mark.parametrize("suffix,format", [(".txt", None), (".jsonl", None), (".csv", None), (".trace", "text")])
+@pytest.mark.parametrize(
+    "suffix,format",
+    [
+        (".txt", None),
+        (".jsonl", None),
+        (".csv", None),
+        (".trace", "text"),
+        (".txt.gz", None),
+        (".jsonl.gz", None),
+        (".csv.gz", None),
+        (".gz", "jsonl"),
+    ],
+)
 def test_trace_io_round_trip(tmp_path, io_db, suffix, format):
     path = tmp_path / f"traces{suffix}"
     write_traces(io_db, path, format=format)
@@ -179,6 +191,28 @@ def test_malformed_csv_rejected(tmp_path):
     path.write_text("wrong,columns\n1,2\n", encoding="utf-8")
     with pytest.raises(DataFormatError):
         read_traces(path)
+
+
+def test_csv_out_of_order_trace_ids_load_sorted(tmp_path):
+    """Whole-file CSV reads keep the historical sorted-by-trace_id order."""
+    path = tmp_path / "shuffled.csv"
+    path.write_text(
+        "trace_id,position,event\n2,0,c\n2,1,d\n1,0,a\n1,1,b\n", encoding="utf-8"
+    )
+    loaded = read_traces(path)
+    assert list(loaded) == [("a", "b"), ("c", "d")]
+    assert loaded.name(0) == "trace-1"
+
+
+def test_csv_interleaved_rows_and_negative_ids(tmp_path):
+    """The whole-file reader buffers: interleaved rows and any int id work."""
+    path = tmp_path / "interleaved.csv"
+    path.write_text(
+        "trace_id,position,event\n1,0,a\n-5,0,x\n1,1,b\n-5,1,y\n", encoding="utf-8"
+    )
+    loaded = read_traces(path)
+    assert list(loaded) == [("x", "y"), ("a", "b")]
+    assert loaded.name(0) == "trace--5"
 
 
 # --------------------------------------------------------------------- #
