@@ -1,0 +1,199 @@
+"""Serving-layer benchmark: compile time, streaming throughput, hot swap.
+
+Three claims of the serving subsystem are measured on the canonical bench
+fixture (loop-structured traces sharing premise prefixes — the workload
+shape the shared trie exists for):
+
+* **compile time** — turning a mined rule set into a
+  :class:`~repro.serving.compile.CompiledRuleSet` (the cost a daemon pays
+  per hot swap, measured separately as ``hot_swap_seconds`` on a perturbed
+  rule set);
+* **streaming throughput** — events/second of a
+  :class:`~repro.serving.stream_monitor.StreamingMonitor` over the
+  compiled automaton versus the offline
+  :class:`~repro.verification.monitor.RuleMonitor`, which re-derives
+  temporal points per rule per trace.  Reports must be identical
+  (asserted) and the streaming path must be **>= 5x** faster at canonical
+  scale (asserted, the acceptance criterion);
+* **hot-swap latency** — re-compiling after a rule-set change, i.e. the
+  serving gap of :meth:`WatchDaemon._swap`.
+
+Results go to ``benchmarks/results/serving.txt`` and are appended as one
+run record to the ``BENCH_hot_paths.json`` trajectory at the repository
+root (smoke scales write to ``benchmarks/results/`` so they never pollute
+the canonical lineage).  The regression gate watches
+``wall_clock_seconds`` = the streaming monitoring pass, the path this
+subsystem optimises.
+
+Scale with ``REPRO_SERVING_SCALE`` (default 1.0).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.core.sequence import SequenceDatabase
+from repro.rules.config import RuleMiningConfig
+from repro.rules.nonredundant_miner import NonRedundantRecurrentRuleMiner
+from repro.serving import StreamingMonitor, compile_rules
+from repro.verification.monitor import RuleMonitor
+
+from conftest import append_bench_record, write_result
+
+SCALE = float(os.environ.get("REPRO_SERVING_SCALE", "1.0"))
+REPO_ROOT = Path(__file__).resolve().parents[1]
+CANONICAL_SCALE = SCALE == 1.0
+JSON_PATH = (
+    REPO_ROOT / "BENCH_hot_paths.json"
+    if CANONICAL_SCALE
+    else Path(__file__).parent / "results" / "BENCH_hot_paths.json"
+)
+
+#: Independent protocol families; rules of one family share premise prefixes.
+FAMILIES = 8
+#: Events per family loop body; bodies repeat per trace (many temporal points)
+#: and every trace closes with a ``commit`` tail, so mined consequents point
+#: *late* into the trace — the case where the offline monitor's per-point
+#: suffix re-scans hurt most and the compiled automaton's per-event cost
+#: does not change.
+LOOP_BODY = 5
+#: Loop repeats in the mining corpus (keeps the mine fast) ...
+REPEATS = 10
+#: ... and in the monitored stream (serving traces are long).
+MONITOR_REPEATS = 80
+#: Mining corpus size (traces per family) and monitoring stream size.
+TRACES_PER_FAMILY = 4
+MONITOR_TRACES = max(8, int(40 * SCALE))
+#: Every Nth monitored trace is truncated before its commit: violations.
+VIOLATE_EVERY = 8
+
+MINING_CONFIG = RuleMiningConfig(
+    min_s_support=2,
+    min_confidence=0.5,
+    max_premise_length=2,
+    max_consequent_length=1,
+)
+
+
+def _family_body(family: int) -> list:
+    return [f"f{family}.e{i}" for i in range(LOOP_BODY)]
+
+
+def _mining_corpus() -> SequenceDatabase:
+    traces = []
+    for family in range(FAMILIES):
+        body = _family_body(family)
+        trace = body * REPEATS + [f"f{family}.commit"]
+        traces.extend([trace for _ in range(TRACES_PER_FAMILY)])
+    return SequenceDatabase.from_sequences(traces)
+
+
+def _monitoring_stream() -> SequenceDatabase:
+    """The serving traffic: long single-family loop traces ending in their
+    commit, with every ``VIOLATE_EVERY``-th trace truncated before it so
+    the monitors exercise both outcomes."""
+    traces = []
+    for index in range(MONITOR_TRACES):
+        family = index % FAMILIES
+        trace = _family_body(family) * MONITOR_REPEATS + [f"f{family}.commit"]
+        if index % VIOLATE_EVERY == 0:
+            trace = trace[:-1]  # no commit: every pending ->commit point violates
+        traces.append(trace)
+    return SequenceDatabase.from_sequences(traces)
+
+
+def bench_serving(benchmark):
+    corpus = _mining_corpus()
+    rules = NonRedundantRecurrentRuleMiner(MINING_CONFIG).mine(corpus).rules
+    assert rules, "the bench fixture must mine a non-trivial rule set"
+
+    start = time.perf_counter()
+    compiled = compile_rules(rules)
+    compile_seconds = time.perf_counter() - start
+
+    stream = _monitoring_stream()
+    stream_events = stream.total_events()
+
+    start = time.perf_counter()
+    offline_report = RuleMonitor(rules).check_database(stream)
+    offline_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    streaming_report = StreamingMonitor(compiled).check_database(stream)
+    streaming_seconds = time.perf_counter() - start
+
+    # Correctness first: the serving path emits the identical report.
+    assert streaming_report.total_points == offline_report.total_points
+    assert streaming_report.satisfied_points == offline_report.satisfied_points
+    assert streaming_report.per_rule_points == offline_report.per_rule_points
+    assert streaming_report.violations == offline_report.violations
+    assert streaming_report.violation_count > 0  # the stream exercises both outcomes
+
+    # Hot-swap latency: a rule-set change (here: drop one rule) re-compiles.
+    start = time.perf_counter()
+    swapped = compile_rules(rules[:-1])
+    hot_swap_seconds = time.perf_counter() - start
+    assert len(swapped) == len(rules) - 1
+
+    # One extra streaming pass as the pytest-benchmark probe.
+    benchmark.pedantic(
+        lambda: StreamingMonitor(compiled).check_database(stream), rounds=1, iterations=1
+    )
+
+    speedup = offline_seconds / streaming_seconds if streaming_seconds > 0 else float("inf")
+    streaming_eps = int(stream_events / streaming_seconds) if streaming_seconds > 0 else None
+    offline_eps = int(stream_events / offline_seconds) if offline_seconds > 0 else None
+    trie = compiled.describe()
+    payload = {
+        "benchmark": "serving",
+        "workload": {
+            "sequences": len(stream),
+            "events": stream_events,
+            "families": FAMILIES,
+            "loop_body": LOOP_BODY,
+            "repeats": REPEATS,
+            "rules": len(rules),
+            "scale": SCALE,
+            "host_cpus": os.cpu_count(),
+        },
+        "compile": {
+            "seconds": round(compile_seconds, 6),
+            "trie_nodes": trie["trie_nodes"],
+            "shared_prefix_events": trie["shared_prefix_events"],
+        },
+        "monitoring": {
+            "offline_seconds": round(offline_seconds, 4),
+            "streaming_seconds": round(streaming_seconds, 4),
+            "speedup": round(speedup, 2),
+            "offline_events_per_second": offline_eps,
+            "streaming_events_per_second": streaming_eps,
+            "total_points": streaming_report.total_points,
+            "violations": streaming_report.violation_count,
+        },
+        "hot_swap_seconds": round(hot_swap_seconds, 6),
+        # The optimised-path cost the regression gate watches.
+        "wall_clock_seconds": round(streaming_seconds, 4),
+    }
+    append_bench_record(JSON_PATH, payload)
+
+    lines = [
+        f"workload: {len(stream)} monitored traces, {stream_events} events, "
+        f"{len(rules)} rules ({FAMILIES} families) (scale {SCALE})",
+        f"compile: {compile_seconds * 1000:.2f} ms "
+        f"({trie['trie_nodes']} trie nodes, {trie['shared_prefix_events']} shared prefix events)",
+        f"offline  monitor: {offline_seconds:.3f}s ({offline_eps} events/s)",
+        f"streaming monitor: {streaming_seconds:.3f}s ({streaming_eps} events/s, "
+        f"{speedup:.2f}x, identical reports)",
+        f"hot swap: {hot_swap_seconds * 1000:.2f} ms",
+        f"points: {streaming_report.total_points}, "
+        f"violations: {streaming_report.violation_count}",
+        f"json: {JSON_PATH.name}",
+    ]
+    write_result("serving", "\n".join(lines))
+
+    # The acceptance claim is asserted only on workloads big enough to be
+    # falsifiable; smoke scales still assert report identity above.
+    if os.environ.get("REPRO_REQUIRE_SPEEDUP") == "1" or SCALE >= 1.0:
+        assert speedup >= 5.0, f"expected >=5x streaming speedup, got {speedup:.2f}x"

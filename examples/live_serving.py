@@ -1,0 +1,104 @@
+"""Online specification serving: the mine -> serve -> monitor loop, live.
+
+The offline examples mine a finished corpus and audit it afterwards.  This
+one runs the serving layer instead:
+
+1. mine recurrent rules from a bootstrap corpus and *compile* them into a
+   shared automaton (`repro.serving.compile_rules`);
+2. serve a live event stream through a `StreamingMonitor` — one event at a
+   time, violations reported the moment a trace closes;
+3. run a `WatchDaemon` over a drop directory: new trace files are ingested
+   into a `TraceStore`, the rule set is re-mined incrementally, hot-swapped
+   into the serving automaton, and the new traces monitored against it.
+
+Run with:  python examples/live_serving.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import SequenceDatabase, mine_non_redundant_rules
+from repro.ingest import TraceRecord, write_trace_records
+from repro.rules.config import RuleMiningConfig
+from repro.rules.nonredundant_miner import NonRedundantRecurrentRuleMiner
+from repro.serving import StreamingMonitor, WatchDaemon, compile_rules
+
+BOOTSTRAP = [
+    ["connect", "auth", "query", "disconnect"],
+    ["connect", "auth", "query", "query", "disconnect"],
+    ["connect", "auth", "disconnect"],
+]
+
+LIVE_TRAFFIC = [
+    ("session-1", ["connect", "auth", "query", "disconnect"]),
+    ("session-2", ["connect", "auth", "query"]),  # never disconnects
+    ("session-3", ["connect", "auth", "disconnect"]),
+]
+
+
+def serve_a_stream() -> None:
+    rules = mine_non_redundant_rules(
+        SequenceDatabase.from_sequences(BOOTSTRAP), min_s_support=2, min_confidence=0.9
+    ).rules
+    compiled = compile_rules(rules)
+    stats = compiled.describe()
+    print(f"compiled {stats['rules']} rules into {stats['trie_nodes']} trie nodes")
+
+    monitor = StreamingMonitor(compiled)
+    for name, events in LIVE_TRAFFIC:
+        monitor.begin_trace(name=name)
+        for event in events:  # one event at a time: this is the live path
+            monitor.feed(event)
+        report = monitor.end_trace()
+        verdict = "ok" if report.violation_count == 0 else "VIOLATIONS"
+        print(f"  {name}: {report.total_points} points checked -> {verdict}")
+        for violation in report.violations:
+            print(f"    {violation.describe()}")
+    print(monitor.report().summary())
+
+
+def watch_a_directory() -> None:
+    with tempfile.TemporaryDirectory() as raw_tmp:
+        tmp = Path(raw_tmp)
+        incoming = tmp / "incoming"
+        incoming.mkdir()
+        daemon = WatchDaemon(
+            incoming,
+            tmp / "store",
+            # Looser confidence than the one-shot mine above: the violating
+            # live session lowers the rules' confidence during the re-mine,
+            # and they must survive it to flag that same session.
+            NonRedundantRecurrentRuleMiner(
+                RuleMiningConfig(min_s_support=2, min_confidence=0.6)
+            ),
+            persist_cache=True,
+        )
+        write_trace_records(
+            incoming / "bootstrap.jsonl",
+            [TraceRecord(tuple(trace)) for trace in BOOTSTRAP],
+        )
+        cycle = daemon.run_once()
+        print(
+            f"cycle {cycle.index}: ingested {len(cycle.ingested)} files, "
+            f"serving {cycle.rules_served} rules "
+            f"({'hot-swapped' if cycle.swapped else 'unchanged'})"
+        )
+        write_trace_records(
+            incoming / "live.jsonl",
+            [TraceRecord(tuple(events), name) for name, events in LIVE_TRAFFIC],
+        )
+        cycle = daemon.run_once()
+        print(
+            f"cycle {cycle.index}: re-mined "
+            f"{cycle.refresh.roots_remined}/{cycle.refresh.roots_total} roots, "
+            f"{cycle.violation_count} violations among the new traces"
+        )
+        for violation in cycle.monitoring.violations:
+            print(f"  {violation.describe()}")
+
+
+if __name__ == "__main__":
+    print("-- streaming monitor over a compiled rule set --")
+    serve_a_stream()
+    print("\n-- watch daemon over a drop directory --")
+    watch_a_directory()

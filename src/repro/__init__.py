@@ -63,6 +63,7 @@ from .rules import (
     mine_all_rules,
     mine_non_redundant_rules,
 )
+from .serving import CompiledRuleSet, StreamingMonitor, WatchDaemon, compile_rules
 from .specs import SpecificationRepository, chart_from_pattern, rank_patterns, rank_rules
 from .traces import Trace, TraceCollector, instrument, read_traces, write_traces
 from .verification import RuleMonitor, coverage_of, monitor_database
@@ -108,6 +109,10 @@ __all__ = [
     "RuleMiningResult",
     "mine_all_rules",
     "mine_non_redundant_rules",
+    "CompiledRuleSet",
+    "StreamingMonitor",
+    "WatchDaemon",
+    "compile_rules",
     "SpecificationRepository",
     "chart_from_pattern",
     "rank_patterns",

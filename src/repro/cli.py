@@ -7,14 +7,19 @@ Sub-commands cover the full workflow of the paper:
 * ``ingest``       — stream trace files into an append-only trace store;
 * ``mine-patterns``— mine frequent / closed iterative patterns (Section 4);
 * ``mine-rules``   — mine full / non-redundant recurrent rules (Section 5);
-* ``monitor``      — check a specification repository against traces.
+* ``monitor``      — check a specification repository against traces
+  (``--stream`` compiles the rules and checks one event at a time);
+* ``watch``        — the serving daemon: tail a directory into a store,
+  re-mine incrementally, hot-swap the compiled rules, monitor new traces.
 
 Every command reads and writes the trace formats of :mod:`repro.traces.io`
 (text / jsonl / csv, each with a transparent ``.gz`` variant) and prints
 small plain-text reports; mined specifications can be saved as a JSON
 repository (see :class:`repro.specs.SpecificationRepository`).  The mining
 commands accept either a flat trace file (``--input``) or a trace store
-(``--store``, optionally appending new files first with ``--append``).
+(``--store``, optionally appending new files first with ``--append``);
+store-backed mining keeps a persisted record cache in the store directory,
+so repeated ``--append`` invocations re-mine only the touched roots.
 """
 
 from __future__ import annotations
@@ -45,7 +50,10 @@ from .ingest.formats import (
     stream_batches,
     stream_traces,
 )
+from .ingest.incremental import IncrementalMiner
 from .ingest.store import TraceStore
+from .serving.daemon import WatchDaemon
+from .serving.stream_monitor import StreamingMonitor
 from .specs.repository import SpecificationRepository
 from .traces.io import read_traces, write_traces
 from .verification.monitor import RuleMonitor
@@ -123,6 +131,46 @@ def _build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--format", default=None, help=_FORMAT_HELP)
     monitor.add_argument("--specs", required=True, help="JSON specification repository")
     monitor.add_argument("--max-violations", type=int, default=10, help="violations to print")
+    monitor.add_argument(
+        "--stream",
+        action="store_true",
+        help="compile the rules into a shared automaton and check the file "
+        "one trace at a time (bounded memory, same violations; traces are "
+        "numbered in file order, and CSV rows of one trace must be "
+        "contiguous as with every streaming reader)",
+    )
+
+    watch = subparsers.add_parser(
+        "watch",
+        help="serving daemon: tail a directory of trace files, re-mine "
+        "incrementally, hot-swap the compiled rules, monitor new traces",
+    )
+    watch.add_argument("--dir", required=True, help="directory to tail for trace files")
+    watch.add_argument("--store", required=True, help="backing trace-store directory")
+    watch.add_argument("--format", default=None, help=_FORMAT_HELP)
+    watch.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between polls (default 2)"
+    )
+    watch.add_argument(
+        "--max-cycles",
+        type=_positive_int,
+        default=None,
+        help="stop after this many poll cycles (default: run until Ctrl-C)",
+    )
+    watch.add_argument("--min-s-support", type=float, default=2.0)
+    watch.add_argument("--min-i-support", type=int, default=1)
+    watch.add_argument("--min-confidence", type=float, default=0.5)
+    watch.add_argument("--max-premise-length", type=int, default=None)
+    watch.add_argument("--max-consequent-length", type=int, default=None)
+    watch.add_argument(
+        "--save",
+        default=None,
+        help="rewrite this JSON specification repository on every hot swap",
+    )
+    watch.add_argument(
+        "--max-violations", type=int, default=10, help="violations to print per cycle"
+    )
+    _add_engine_arguments(watch)
 
     return parser
 
@@ -177,8 +225,14 @@ def _annotated_stream(path: str, format: Optional[str]):
         raise DataFormatError(f"{path}: {error}") from error
 
 
-def _load_mining_database(args: argparse.Namespace):
-    """Resolve --input/--store/--append into a database, or None on misuse."""
+def _resolve_mining_source(args: argparse.Namespace):
+    """Resolve --input/--store/--append into ``(database, store)``.
+
+    Exactly one of the pair is set; ``None`` signals a reported CLI error.
+    A flat ``--input`` file is read into an in-memory database; a
+    ``--store`` is returned as-is so the mining commands can run the
+    persisted incremental path over it.
+    """
     if (args.input is None) == (args.store is None):
         print("error: pass exactly one of --input or --store", file=sys.stderr)
         return None
@@ -186,7 +240,7 @@ def _load_mining_database(args: argparse.Namespace):
         print("error: --append requires --store", file=sys.stderr)
         return None
     if args.input is not None:
-        return read_traces(args.input, format=args.format)
+        return read_traces(args.input, format=args.format), None
     try:
         # Only the ingest command may create a store: a typo'd --store
         # path must be a loud error (even with --append), never a quietly
@@ -225,7 +279,29 @@ def _load_mining_database(args: argparse.Namespace):
         f"{description['batches']} batches, fingerprint {str(description['fingerprint'])[:12]}",
         file=sys.stderr,
     )
-    return store.snapshot()
+    return None, store
+
+
+def _mine_source(source, miner, backend):
+    """Run a miner over the resolved source, incrementally when store-backed.
+
+    Store-backed mining goes through :class:`IncrementalMiner` with the
+    record cache persisted in the store directory, so a sequence of
+    ``--store --append`` invocations re-mines only the roots each append
+    touched — across processes.  Output is bit-identical to mining the
+    snapshot from scratch either way.
+    """
+    database, store = source
+    if store is None:
+        return miner.mine(database, backend=backend)
+    incremental = IncrementalMiner(miner, store, persist=True)
+    result, report = incremental.refresh(backend=backend)
+    print(
+        f"incremental: re-mined {report.roots_remined}/{report.roots_total} "
+        f"roots ({report.reason})",
+        file=sys.stderr,
+    )
+    return result
 
 
 def _add_engine_arguments(subparser: argparse.ArgumentParser) -> None:
@@ -329,8 +405,8 @@ def _command_ingest(args: argparse.Namespace) -> int:
 
 
 def _command_mine_patterns(args: argparse.Namespace) -> int:
-    database = _load_mining_database(args)
-    if database is None:
+    source = _resolve_mining_source(args)
+    if source is None:
         return 2
     config = IterativeMiningConfig(
         min_support=args.min_support,
@@ -342,7 +418,7 @@ def _command_mine_patterns(args: argparse.Namespace) -> int:
     if backend is None:
         return 2
     miner = FullIterativePatternMiner(config) if args.full else ClosedIterativePatternMiner(config)
-    result = miner.mine(database, backend=backend)
+    result = _mine_source(source, miner, backend)
     kind = "frequent" if args.full else "closed"
     print(
         f"mined {len(result)} {kind} iterative patterns "
@@ -359,8 +435,8 @@ def _command_mine_patterns(args: argparse.Namespace) -> int:
 
 
 def _command_mine_rules(args: argparse.Namespace) -> int:
-    database = _load_mining_database(args)
-    if database is None:
+    source = _resolve_mining_source(args)
+    if source is None:
         return 2
     config = RuleMiningConfig(
         min_s_support=args.min_s_support,
@@ -373,7 +449,7 @@ def _command_mine_rules(args: argparse.Namespace) -> int:
     if backend is None:
         return 2
     miner = FullRecurrentRuleMiner(config) if args.full else NonRedundantRecurrentRuleMiner(config)
-    result = miner.mine(database, backend=backend)
+    result = _mine_source(source, miner, backend)
     kind = "significant" if args.full else "non-redundant"
     print(
         f"mined {len(result)} {kind} recurrent rules "
@@ -395,17 +471,90 @@ def _command_mine_rules(args: argparse.Namespace) -> int:
 
 
 def _command_monitor(args: argparse.Namespace) -> int:
-    database = read_traces(args.input, format=args.format)
     repository = SpecificationRepository.load(args.specs)
     if not repository.rules:
-        print("the specification repository contains no rules to monitor", file=sys.stderr)
+        # A repository that mined zero rules is a valid (vacuous)
+        # specification: report a clean zero-violation run, don't crash.
+        print("note: the specification repository contains no rules", file=sys.stderr)
+    try:
+        if args.stream:
+            # Serving path: compile once, stream the file one trace at a
+            # time (memory bounded by the longest trace, not the file).
+            monitor = StreamingMonitor(repository.rules)
+            for record in stream_traces(args.input, format=args.format):
+                monitor.check_trace(record.events, name=record.name)
+            report = monitor.report()
+        else:
+            database = read_traces(args.input, format=args.format)
+            report = RuleMonitor(repository.rules).check_database(database)
+    except (DataFormatError, OSError) as error:
+        print(f"error: {args.input}: {error}", file=sys.stderr)
         return 2
-    monitor = RuleMonitor(repository.rules)
-    report = monitor.check_database(database)
     print(report.summary())
     for violation in report.violations[: args.max_violations]:
         print(f"  VIOLATION {violation.describe()}")
     return 0 if report.violation_count == 0 else 1
+
+
+def _command_watch(args: argparse.Namespace) -> int:
+    if not Path(args.dir).is_dir():
+        print(f"error: no directory to watch at {args.dir}", file=sys.stderr)
+        return 2
+    backend = _resolve_backend_or_none(args)
+    if backend is None:
+        return 2
+    try:
+        config = RuleMiningConfig(
+            min_s_support=args.min_s_support,
+            min_i_support=args.min_i_support,
+            min_confidence=args.min_confidence,
+            max_premise_length=args.max_premise_length,
+            max_consequent_length=args.max_consequent_length,
+        )
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    def report_cycle(cycle) -> None:
+        for path, info in cycle.ingested:
+            print(f"[cycle {cycle.index}] ingested {path}: {info.traces} traces")
+        for path, message in cycle.failed:
+            print(f"[cycle {cycle.index}] skipped {path}: {message}", file=sys.stderr)
+        if cycle.refresh is not None:
+            refresh = cycle.refresh
+            how = "full re-mine" if refresh.full_remine else (
+                f"re-mined {refresh.roots_remined}/{refresh.roots_total} roots"
+            )
+            print(
+                f"[cycle {cycle.index}] {how}: serving {cycle.rules_served} rules"
+                f"{' (hot-swapped)' if cycle.swapped else ''}"
+            )
+        if cycle.monitoring is not None:
+            print(
+                f"[cycle {cycle.index}] monitored {cycle.traces_added} new traces: "
+                f"{cycle.monitoring.satisfied_points}/{cycle.monitoring.total_points} "
+                f"points satisfied, {cycle.violation_count} violations"
+            )
+            for violation in cycle.monitoring.violations[: args.max_violations]:
+                print(f"  VIOLATION {violation.describe()}")
+
+    daemon = WatchDaemon(
+        args.dir,
+        args.store,
+        NonRedundantRecurrentRuleMiner(config),
+        backend=backend,
+        format=args.format,
+        repository_path=args.save,
+        persist_cache=True,
+        on_cycle=report_cycle,
+    )
+    cycles = daemon.run_forever(poll_interval=args.interval, max_cycles=args.max_cycles)
+    report = daemon.monitoring
+    print(
+        f"watched {cycles} cycles: {len(daemon.store)} traces in store, "
+        f"{daemon.swaps} hot swaps, {report.violation_count} violations"
+    )
+    return 0
 
 
 _COMMANDS = {
@@ -415,6 +564,7 @@ _COMMANDS = {
     "mine-patterns": _command_mine_patterns,
     "mine-rules": _command_mine_rules,
     "monitor": _command_monitor,
+    "watch": _command_watch,
 }
 
 

@@ -32,9 +32,13 @@ O(corpus) — of indexing per refresh.
 
 from __future__ import annotations
 
+import dataclasses
+import os
+import pickle
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+from pathlib import Path
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple, Union
 
 from ..core.errors import ConfigurationError
 from ..core.events import EventId
@@ -42,6 +46,9 @@ from ..core.sequence import SequenceDatabase
 from ..core.stats import MiningStats
 from ..engine import ExecutionBackend, PlanResult, SerialBackend, ShardRunner, run_sharded
 from .store import TraceStore
+
+#: On-disk record-cache format version; unknown versions are ignored.
+CACHE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -109,6 +116,14 @@ class IncrementalMiner:
     / ``record_sort_key`` / ``collect_result``): both iterative-pattern
     miners and both recurrent-rule miners qualify.
 
+    With ``persist=True`` (or an explicit ``cache_path``) the committed
+    record cache is also written into the store directory after every
+    successful refresh, and a later :class:`IncrementalMiner` over the same
+    store resumes from it — so separate processes (CLI invocations, daemon
+    restarts) stay incremental too.  The persisted cache is invalidated by
+    a store-fingerprint or miner-configuration mismatch and silently
+    discarded; a discarded cache only ever costs a full re-mine.
+
     Example
     -------
     >>> miner = IncrementalMiner(ClosedIterativePatternMiner(config), store)
@@ -122,6 +137,9 @@ class IncrementalMiner:
         miner: Any,
         store: TraceStore,
         backend: Optional[ExecutionBackend] = None,
+        *,
+        persist: bool = False,
+        cache_path: Optional[Union[str, Path]] = None,
     ) -> None:
         for hook in (
             "resolved_support_threshold",
@@ -149,11 +167,122 @@ class IncrementalMiner:
         self._cache_extras: Optional[Dict[str, Any]] = None
         self._cache_roots_total = 0
         self._dirty: FrozenSet[EventId] = frozenset()
+        # Optional on-disk persistence of the record cache (CLI invocations
+        # and daemon restarts stay incremental across processes).
+        if cache_path is not None:
+            self._cache_path: Optional[Path] = Path(cache_path)
+        elif persist:
+            self._cache_path = self.default_cache_path(store, miner)
+        else:
+            self._cache_path = None
+        #: Whether the last construction adopted a persisted cache.
+        self.resumed_from_cache = False
+        if self._cache_path is not None:
+            self.resumed_from_cache = self._load_persisted_cache()
 
     @property
     def database(self) -> Optional[SequenceDatabase]:
         """The live concatenated database (``None`` before the first refresh)."""
         return self._database
+
+    # ------------------------------------------------------------------ #
+    # Record-cache persistence
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def default_cache_path(store: TraceStore, miner: Any) -> Path:
+        """Where a persisted record cache lives inside the store directory.
+
+        One file per miner class: two miners with the same class but
+        different configurations share the path, and the configuration
+        token inside the payload arbitrates (a mismatch discards the
+        cache, never silently reuses it).
+        """
+        return store.directory / "cache" / f"{type(miner).__name__}.records.pkl"
+
+    def _config_token(self) -> str:
+        """Identity of the cached search: miner class + full configuration.
+
+        The configs are frozen dataclasses, so rendering every field gives
+        a complete identity — but set-valued fields must be rendered in
+        sorted order: ``repr(frozenset(...))`` follows the per-process
+        string hash seed, and a token that changes between processes would
+        silently discard the cache on every CLI invocation.
+        """
+        config = self.miner.config
+        if not dataclasses.is_dataclass(config):
+            return f"{type(self.miner).__qualname__}:{config!r}"
+        parts = []
+        for field in dataclasses.fields(config):
+            value = getattr(config, field.name)
+            if isinstance(value, (set, frozenset)):
+                rendered = "{" + ", ".join(sorted(repr(item) for item in value)) + "}"
+            else:
+                rendered = repr(value)
+            parts.append(f"{field.name}={rendered}")
+        return f"{type(self.miner).__qualname__}({', '.join(parts)})"
+
+    def _load_persisted_cache(self) -> bool:
+        """Adopt a persisted record cache when it matches store + config.
+
+        Validation is strict and failure is silent-but-safe: any mismatch
+        (missing file, unreadable pickle, different miner/config token,
+        store fingerprint that does not chain to the cached sync point)
+        just leaves the miner cold — the next refresh is a full re-mine,
+        which is always correct.  The payload is a pickle written by this
+        class into the user's own store directory; treat the store
+        directory with the same trust as the traces themselves.
+        """
+        path = self._cache_path
+        if path is None or not path.is_file():
+            return False
+        try:
+            payload = pickle.loads(path.read_bytes())
+        except Exception:  # noqa: BLE001 - any corrupt cache means "cold start"
+            return False
+        if not isinstance(payload, dict) or payload.get("version") != CACHE_VERSION:
+            return False
+        if payload.get("identity") != self._config_token():
+            return False
+        synced = payload.get("synced_batches")
+        if not isinstance(synced, int) or not 1 <= synced <= len(self.store.batches):
+            return False
+        # Chained fingerprints make prefix validation one comparison: the
+        # cache is valid iff the store's first `synced` batches are exactly
+        # the corpus the cache was computed from.
+        if self.store.batches[synced - 1].fingerprint != payload.get("fingerprint"):
+            return False
+        database = SequenceDatabase(self.store.vocabulary)
+        for trace in self.store.iter_traces(stop_batch=synced):
+            database.add_encoded(trace.events, name=trace.name)
+        self._database = database
+        self._synced_batches = synced
+        self._cache = {
+            root: tuple(records) for root, records in payload["records"].items()
+        }
+        self._cache_threshold = payload["threshold"]
+        self._cache_extras = payload["extras"]
+        self._cache_roots_total = payload["roots_total"]
+        return True
+
+    def _save_persisted_cache(self) -> None:
+        """Write the committed cache state next to the store (atomically)."""
+        path = self._cache_path
+        if path is None or self._synced_batches < 1 or self._cache is None:
+            return
+        payload = {
+            "version": CACHE_VERSION,
+            "identity": self._config_token(),
+            "synced_batches": self._synced_batches,
+            "fingerprint": self.store.batches[self._synced_batches - 1].fingerprint,
+            "threshold": self._cache_threshold,
+            "extras": self._cache_extras,
+            "roots_total": self._cache_roots_total,
+            "records": self._cache,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temporary = path.with_suffix(path.suffix + ".tmp")
+        temporary.write_bytes(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        os.replace(temporary, path)
 
     def refresh(self, backend: Optional[ExecutionBackend] = None) -> Tuple[Any, RefreshReport]:
         """Bring the mining result up to date with the store.
@@ -240,6 +369,7 @@ class IncrementalMiner:
         self._cache_extras = extras
         self._cache_roots_total = roots_total
         self._dirty = frozenset()
+        self._save_persisted_cache()
 
         merged: List[Any] = []
         for root_records in cache.values():

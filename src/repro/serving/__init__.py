@@ -1,0 +1,32 @@
+"""Online specification serving: compiled automata, streaming monitor, daemon.
+
+The offline layers mine specifications from a finished corpus; this package
+serves them against *live* traffic:
+
+* :mod:`repro.serving.compile` — compile a rule set (or a specification
+  repository) into a :class:`CompiledRuleSet`: a shared premise trie plus
+  per-rule consequent trackers whose per-trace state advances one event at
+  a time in amortized O(active states);
+* :mod:`repro.serving.stream_monitor` — :class:`StreamingMonitor`, the
+  incremental checker (``feed`` / ``end_trace`` / ``report``) emitting
+  exactly the violations the offline
+  :class:`~repro.verification.monitor.RuleMonitor` would;
+* :mod:`repro.serving.daemon` — :class:`WatchDaemon`, the poll-based
+  mine→serve→monitor loop: tail a directory into a
+  :class:`~repro.ingest.store.TraceStore`, refresh an
+  :class:`~repro.ingest.incremental.IncrementalMiner` on appends, hot-swap
+  the compiled rule set, and monitor the new traces against it.
+"""
+
+from .compile import CompiledRuleSet, compile_rules
+from .daemon import WatchCycle, WatchDaemon
+from .stream_monitor import StreamingMonitor, monitor_stream
+
+__all__ = [
+    "CompiledRuleSet",
+    "compile_rules",
+    "StreamingMonitor",
+    "monitor_stream",
+    "WatchCycle",
+    "WatchDaemon",
+]

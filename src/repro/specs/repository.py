@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 from ..core.errors import DataFormatError
 from ..core.events import EventLabel
@@ -55,6 +55,37 @@ class SpecificationRepository:
         for rule in result.rules:
             self.add_rule(rule)
         return len(result.rules)
+
+    def replace_rules(
+        self,
+        rules: Iterable[RecurrentRule],
+        source: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Swap the stored rule set wholesale (patterns are untouched).
+
+        The watch daemon calls this on every hot-swap: the re-mined rules
+        replace the previous generation atomically, and ``source`` (store
+        fingerprint and corpus statistics) records which corpus state the
+        new generation reflects.
+        """
+        self._rules = list(rules)
+        if source is not None:
+            self.source = dict(source)
+
+    @staticmethod
+    def provenance_from(description: Dict[str, object]) -> Dict[str, object]:
+        """The :attr:`source` payload for a trace-store ``describe()`` dict.
+
+        One definition of "which corpus state produced these specs" shared
+        by :meth:`refresh_from_store` and the watch daemon's hot swap.
+        """
+        return {
+            "store": description.get("directory"),
+            "fingerprint": description.get("fingerprint"),
+            "batches": description.get("batches"),
+            "traces": description.get("traces"),
+            "events": description.get("events"),
+        }
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -118,14 +149,7 @@ class SpecificationRepository:
             rules = list(rule_miner.mine(database, backend=backend).rules)
         self._patterns = patterns
         self._rules = rules
-        description = store.describe()
-        self.source = {
-            "store": description.get("directory"),
-            "fingerprint": description.get("fingerprint"),
-            "batches": description.get("batches"),
-            "traces": description.get("traces"),
-            "events": description.get("events"),
-        }
+        self.source = self.provenance_from(store.describe())
         return self
 
     # ------------------------------------------------------------------ #

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence as TypingSequence
 
-from ..core.errors import MonitoringError
 from ..core.events import EventLabel
 from ..core.sequence import SequenceDatabase
 from ..rules.rule import RecurrentRule
@@ -24,12 +23,15 @@ from .violations import MonitoringReport, RuleViolation
 
 
 class RuleMonitor:
-    """Checks recurrent rules against traces and collects violations."""
+    """Checks recurrent rules against traces and collects violations.
+
+    An empty rule set is a valid (if vacuous) specification: every trace
+    satisfies it and every report is all zeroes.  A repository that mined
+    zero rules must monitor cleanly, not crash.
+    """
 
     def __init__(self, rules: Iterable[RecurrentRule]) -> None:
         self.rules: List[RecurrentRule] = list(rules)
-        if not self.rules:
-            raise MonitoringError("RuleMonitor needs at least one rule to check")
 
     # ------------------------------------------------------------------ #
     # Single-trace checks
@@ -73,12 +75,9 @@ class RuleMonitor:
         """Check every rule against every trace of a database."""
         combined = MonitoringReport()
         for index in range(len(database)):
-            partial = self.check_trace(database[index], trace_index=index, trace_name=database.name(index))
-            combined.total_points += partial.total_points
-            combined.satisfied_points += partial.satisfied_points
-            combined.violations.extend(partial.violations)
-            for key, count in partial.per_rule_points.items():
-                combined.per_rule_points[key] = combined.per_rule_points.get(key, 0) + count
+            combined.merge(
+                self.check_trace(database[index], trace_index=index, trace_name=database.name(index))
+            )
         return combined
 
 

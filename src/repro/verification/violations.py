@@ -55,6 +55,20 @@ class MonitoringReport:
             return 1.0
         return self.satisfied_points / self.total_points
 
+    def merge(self, other: "MonitoringReport") -> "MonitoringReport":
+        """Fold another report into this one (returns ``self`` for chaining).
+
+        Point counts add up, violations append in order, and the per-rule
+        point tallies combine key-wise — the aggregation both the offline
+        database check and the streaming monitor's cumulative report use.
+        """
+        self.total_points += other.total_points
+        self.satisfied_points += other.satisfied_points
+        self.violations.extend(other.violations)
+        for key, count in other.per_rule_points.items():
+            self.per_rule_points[key] = self.per_rule_points.get(key, 0) + count
+        return self
+
     def violations_of(self, rule: RecurrentRule) -> List[RuleViolation]:
         """All recorded violations of one rule."""
         return [violation for violation in self.violations if violation.rule == rule]

@@ -1,0 +1,1 @@
+"""Test package (required so same-named test modules do not clash)."""

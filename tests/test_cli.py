@@ -114,12 +114,18 @@ def test_mine_patterns_full_flag(tmp_path, capsys):
     assert "frequent iterative patterns" in capsys.readouterr().out
 
 
-def test_monitor_with_empty_spec_repository(tmp_path, capsys):
+@pytest.mark.parametrize("stream", [False, True])
+def test_monitor_with_empty_spec_repository_reports_clean(tmp_path, capsys, stream):
+    """Zero mined rules is a vacuous spec: a clean report, not a crash."""
     traces = tmp_path / "tiny.txt"
     traces.write_text("a\nb\n", encoding="utf-8")
     specs = tmp_path / "empty.json"
     specs.write_text(json.dumps({"name": "empty", "patterns": [], "rules": []}), encoding="utf-8")
-    assert main(["monitor", "--input", str(traces), "--specs", str(specs)]) == 2
+    command = ["monitor", "--input", str(traces), "--specs", str(specs)]
+    assert main(command + (["--stream"] if stream else [])) == 0
+    captured = capsys.readouterr()
+    assert "violations                : 0" in captured.out
+    assert "no rules" in captured.err
 
 
 def test_unknown_command_is_rejected():
@@ -367,3 +373,94 @@ def test_mining_a_missing_store_is_a_loud_error(tmp_path, capsys):
     ) == 2
     assert "no trace store" in capsys.readouterr().err
     assert not missing.exists()
+
+
+# --------------------------------------------------------------------- #
+# Serving layer: streaming monitor, cross-invocation --append, watch mode.
+# --------------------------------------------------------------------- #
+def test_monitor_stream_matches_offline_output(tmp_path, capsys):
+    traces = tmp_path / "security.txt"
+    assert main(["jboss", "--component", "security", "--output", str(traces)]) == 0
+    specs = tmp_path / "rules.json"
+    assert main(
+        [
+            "mine-rules", "--input", str(traces),
+            "--min-s-support", "0.5", "--min-confidence", "0.6",
+            "--max-premise-length", "1", "--max-consequent-length", "2",
+            "--save", str(specs),
+        ]
+    ) == 0
+    capsys.readouterr()
+
+    offline_code = main(["monitor", "--input", str(traces), "--specs", str(specs)])
+    offline = capsys.readouterr().out
+    stream_code = main(["monitor", "--input", str(traces), "--specs", str(specs), "--stream"])
+    streamed = capsys.readouterr().out
+    assert streamed == offline
+    assert stream_code == offline_code
+
+
+def test_store_mining_is_incremental_across_invocations(tmp_path, capsys):
+    """The persisted record cache makes a second --append run a delta."""
+    first = tmp_path / "first.txt"
+    first.write_text("lock\nuse\nunlock\n\nlock\nunlock\n\nopen\nclose\n\nopen\nclose\n", encoding="utf-8")
+    second = tmp_path / "second.txt"
+    second.write_text("lock\nread\nunlock\n", encoding="utf-8")
+    store = tmp_path / "store"
+    assert main(["ingest", "--store", str(store), "--input", str(first)]) == 0
+    capsys.readouterr()
+
+    mine = ["--min-support", "2"]
+    assert main(["mine-patterns", "--store", str(store)] + mine) == 0
+    first_run = capsys.readouterr()
+    assert "initial mine" in first_run.err
+    assert (store / "cache").is_dir()
+
+    # Second invocation (a fresh process in real life): only the roots the
+    # appended file touched are re-mined, and the output still matches a
+    # from-scratch mine of the concatenated corpus.
+    assert main(["mine-patterns", "--store", str(store), "--append", str(second)] + mine) == 0
+    second_run = capsys.readouterr()
+    assert "re-mined" in second_run.err and "initial mine" not in second_run.err
+
+    flat = tmp_path / "flat.txt"
+    flat.write_text(first.read_text() + "\n" + second.read_text(), encoding="utf-8")
+    assert main(["mine-patterns", "--input", str(flat)] + mine) == 0
+    direct = capsys.readouterr().out
+    assert _mining_output(direct) == _mining_output(second_run.out)
+
+
+def test_watch_command_runs_the_serving_loop(tmp_path, capsys):
+    watch_dir = tmp_path / "incoming"
+    watch_dir.mkdir()
+    (watch_dir / "day1.txt").write_text(
+        "lock\nunlock\n\nlock\nunlock\n\nlock\nwork\n", encoding="utf-8"
+    )
+    specs = tmp_path / "watch-specs.json"
+    code = main(
+        [
+            "watch",
+            "--dir", str(watch_dir),
+            "--store", str(tmp_path / "watch-store"),
+            "--interval", "0.01",
+            "--max-cycles", "1",
+            "--min-s-support", "2",
+            "--min-confidence", "0.5",
+            "--save", str(specs),
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "ingested" in captured.out
+    assert "serving" in captured.out and "hot-swapped" in captured.out
+    assert "VIOLATION" in captured.out  # <lock> -> <unlock> fails on trace 2
+    assert "watched 1 cycles" in captured.out
+    assert json.loads(specs.read_text())["rules"]
+
+
+def test_watch_command_requires_an_existing_directory(tmp_path, capsys):
+    code = main(
+        ["watch", "--dir", str(tmp_path / "missing"), "--store", str(tmp_path / "store")]
+    )
+    assert code == 2
+    assert "no directory to watch" in capsys.readouterr().err
