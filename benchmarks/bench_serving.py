@@ -1,4 +1,5 @@
-"""Serving-layer benchmark: compile time, streaming throughput, hot swap.
+"""Serving-layer benchmark: compile time, streaming throughput, hot swap,
+and concurrent-session capacity of the network serving plane.
 
 Three claims of the serving subsystem are measured on the canonical bench
 fixture (loop-structured traces sharing premise prefixes — the workload
@@ -17,6 +18,16 @@ shape the shared trie exists for):
   scale (asserted, the acceptance criterion);
 * **hot-swap latency** — re-compiling after a rule-set change, i.e. the
   serving gap of :meth:`WatchDaemon._swap`.
+
+A second benchmark, ``bench_serving_concurrent_sessions``, measures the
+network serving plane (what ``repro serve`` runs): a real TCP
+:class:`~repro.serving.server.EventPushServer` in front of a sharded
+:class:`~repro.serving.pool.MonitorPool`, holding ``>= 10_000 * SCALE``
+logical sessions open at once and pushing interleaved batches through a
+pipelined client.  The pool-merged report must be **byte-identical** to a
+single :class:`StreamingMonitor` fed the same sessions sequentially in
+admission order (asserted).  Its record starts its own ``serving_sessions``
+lineage in ``BENCH_hot_paths.json``.
 
 Results go to ``benchmarks/results/serving.txt`` and are appended as one
 run record to the ``BENCH_hot_paths.json`` trajectory at the repository
@@ -197,3 +208,189 @@ def bench_serving(benchmark):
     # falsifiable; smoke scales still assert report identity above.
     if os.environ.get("REPRO_REQUIRE_SPEEDUP") == "1" or SCALE >= 1.0:
         assert speedup >= 5.0, f"expected >=5x streaming speedup, got {speedup:.2f}x"
+
+
+# --------------------------------------------------------------------- #
+# Concurrent-session capacity of the network serving plane
+# --------------------------------------------------------------------- #
+#: Logical sessions held open simultaneously (>= 10k at canonical scale).
+SESSIONS = max(64, int(10_000 * SCALE))
+#: Batches pushed per session while all sessions are open, and their size.
+BATCHES_PER_SESSION = 2
+#: Every Nth session is ended without its commit: violations on the wire.
+SESSION_VIOLATE_EVERY = 16
+#: Pool geometry for the capacity run.
+POOL_SHARDS = 4
+POOL_QUEUE_DEPTH = 2048
+#: Client pipelining window (stays well under the aggregate queue bound).
+PIPELINE_WINDOW = 512
+
+
+def _session_events(index: int) -> list:
+    family = index % FAMILIES
+    events = _family_body(family) * BATCHES_PER_SESSION
+    if index % SESSION_VIOLATE_EVERY != 0:
+        events.append(f"f{family}.commit")
+    return events
+
+
+def _session_batches(index: int) -> list:
+    """Split a session's events into its per-round batches."""
+    events = _session_events(index)
+    size = LOOP_BODY
+    return [events[start : start + size] for start in range(0, len(events), size)]
+
+
+def _report_bytes(report) -> bytes:
+    """Canonical byte serialisation of a report for byte-identity checks."""
+    import json as _json
+
+    payload = {
+        "total": report.total_points,
+        "satisfied": report.satisfied_points,
+        "violations": [violation.as_dict() for violation in report.violations],
+        "per_rule": sorted(
+            (repr(key), count) for key, count in report.per_rule_points.items()
+        ),
+    }
+    return _json.dumps(payload, sort_keys=True).encode()
+
+
+def bench_serving_concurrent_sessions(benchmark):
+    from repro.serving import EventPushServer, MonitorPool, PushClient
+    from repro.verification.violations import MonitoringReport
+
+    corpus = _mining_corpus()
+    rules = NonRedundantRecurrentRuleMiner(MINING_CONFIG).mine(corpus).rules
+    assert rules, "the bench fixture must mine a non-trivial rule set"
+    compiled = compile_rules(rules)
+
+    batches = [_session_batches(index) for index in range(SESSIONS)]
+    rounds = max(len(session_batches) for session_batches in batches)
+    total_events = sum(len(batch) for session in batches for batch in session)
+
+    def await_backlog(client, low_mark):
+        """Client-side flow control: the server replies at *enqueue* time,
+        so a fast client can outrun the shard workers and hit BUSY.  Poll
+        STATS until the queued backlog is below ``low_mark`` — the push
+        protocol's intended slow-down signal handling (docs/serving.md)."""
+        while True:
+            stats = client.stats()
+            if sum(shard["queued"] for shard in stats["per_shard"]) <= low_mark:
+                return
+            time.sleep(0.01)
+
+    def push_chunked(client, payloads, expect):
+        chunk = []
+        for payload in payloads:
+            chunk.append(payload)
+            if len(chunk) == POOL_QUEUE_DEPTH:
+                for reply in client.pipeline(chunk, window=PIPELINE_WINDOW):
+                    assert reply["op"] == expect, reply
+                chunk = []
+                await_backlog(client, low_mark=POOL_QUEUE_DEPTH // 2)
+        for reply in client.pipeline(chunk, window=PIPELINE_WINDOW):
+            assert reply["op"] == expect, reply
+
+    def push_all(client):
+        """Open every session, keep them all open across interleaved batch
+        rounds, then close them — round-robin, so concurrency peaks at
+        SESSIONS, not at the pipeline window.  Chunked sends with backlog
+        polling keep the run BUSY-free, which also pins the admission
+        order (session index == admission index, the reference's premise)."""
+        for round_index in range(rounds):
+            payloads = (
+                {"op": "BATCH", "session": f"s{index}", "events": session[round_index]}
+                for index, session in enumerate(batches)
+                if round_index < len(session)
+            )
+            push_chunked(client, payloads, expect="OK")
+        peak = client.stats()
+        ends = ({"op": "END", "session": f"s{index}", "limit": 0} for index in range(SESSIONS))
+        push_chunked(client, ends, expect="SESSION")
+        return peak
+
+    with MonitorPool(compiled, shards=POOL_SHARDS, queue_depth=POOL_QUEUE_DEPTH) as pool:
+        with EventPushServer(pool, port=0) as server:
+            host, port = server.address
+            with PushClient(host, port, timeout=120.0) as client:
+                start = time.perf_counter()
+                peak_stats = push_all(client)
+                assert pool.drain(timeout=120.0)
+                push_seconds = time.perf_counter() - start
+            pooled = pool.report()
+            final_stats = pool.stats()
+
+    assert peak_stats["sessions_active"] == SESSIONS  # all open at once
+    assert final_stats["busy_rejections"] == 0  # the run never hit BUSY
+    assert final_stats["events_processed"] == total_events
+
+    # Byte-identity against one monitor fed the sessions sequentially in
+    # admission order (admission order == session index: round 0 opens them
+    # in index order).
+    start = time.perf_counter()
+    reference_reports = []
+    for index in range(SESSIONS):
+        reference = StreamingMonitor(compiled, first_trace_index=index)
+        reference.begin_trace(name=f"s{index}")
+        for event in _session_events(index):
+            reference.feed(event)
+        reference_reports.append(reference.end_trace())
+    reference_report = MonitoringReport.merge_all(reference_reports)
+    reference_seconds = time.perf_counter() - start
+    assert _report_bytes(pooled) == _report_bytes(reference_report)
+    assert pooled.violation_count > 0  # the stream exercises both outcomes
+
+    # The pytest-benchmark probe: one extra full push run on a fresh stack.
+    def probe():
+        with MonitorPool(compiled, shards=POOL_SHARDS, queue_depth=POOL_QUEUE_DEPTH) as p:
+            with EventPushServer(p, port=0) as s:
+                with PushClient(*s.address, timeout=120.0) as c:
+                    push_all(c)
+                p.drain(timeout=120.0)
+
+    benchmark.pedantic(probe, rounds=1, iterations=1)
+
+    events_per_second = int(total_events / push_seconds) if push_seconds > 0 else None
+    sessions_per_second = int(SESSIONS / push_seconds) if push_seconds > 0 else None
+    payload = {
+        "benchmark": "serving_sessions",
+        "workload": {
+            "sequences": SESSIONS,
+            "events": total_events,
+            "families": FAMILIES,
+            "rules": len(rules),
+            "scale": SCALE,
+            "host_cpus": os.cpu_count(),
+        },
+        "pool": {"shards": POOL_SHARDS, "queue_depth": POOL_QUEUE_DEPTH},
+        "serving": {
+            "concurrent_sessions": SESSIONS,
+            "push_seconds": round(push_seconds, 4),
+            "events_per_second": events_per_second,
+            "sessions_per_second": sessions_per_second,
+            "reference_seconds": round(reference_seconds, 4),
+            "total_points": pooled.total_points,
+            "violations": pooled.violation_count,
+            "report_byte_identical": True,
+        },
+        # The optimised-path cost the regression gate watches.
+        "wall_clock_seconds": round(push_seconds, 4),
+    }
+    append_bench_record(JSON_PATH, payload)
+
+    lines = [
+        f"workload: {SESSIONS} concurrent logical sessions, {total_events} events, "
+        f"{len(rules)} rules (scale {SCALE})",
+        f"pool: {POOL_SHARDS} shards, queue depth {POOL_QUEUE_DEPTH}",
+        f"push: {push_seconds:.3f}s ({events_per_second} events/s, "
+        f"{sessions_per_second} sessions/s over one pipelined TCP connection)",
+        f"peak concurrent sessions: {peak_stats['sessions_active']}",
+        f"reference single monitor: {reference_seconds:.3f}s (byte-identical report)",
+        f"points: {pooled.total_points}, violations: {pooled.violation_count}",
+        f"json: {JSON_PATH.name}",
+    ]
+    write_result("serving_sessions", "\n".join(lines))
+
+    if SCALE >= 1.0:
+        assert SESSIONS >= 10_000, "canonical scale must exercise >= 10k sessions"

@@ -1,0 +1,104 @@
+"""The push serving plane, end to end: server, sessions, swap, stats.
+
+`repro serve` hosts mined specifications behind a TCP front end speaking
+length-prefixed JSON frames (the protocol reference is docs/serving.md).
+This example runs the whole loop in one process:
+
+1. mine recurrent rules from a bootstrap corpus and start an
+   `EventPushServer` over a sharded `MonitorPool` (exactly what
+   `repro serve` runs);
+2. push interleaved sessions through a `PushClient` — events one at a
+   time and in batches, sessions multiplexed over one connection — and
+   read each session's violations from its `END` reply;
+3. hot-swap the served rules over the wire with `SWAP` and show that
+   sessions admitted before the swap finish on their own generation;
+4. read the aggregate `REPORT` and the operational `STATS` counters.
+
+Run with:  python examples/push_client.py
+"""
+
+from repro import SequenceDatabase, mine_non_redundant_rules
+from repro.serving import EventPushServer, MonitorPool, PushClient
+from repro.specs.repository import SpecificationRepository
+
+BOOTSTRAP = [
+    ["connect", "auth", "query", "disconnect"],
+    ["connect", "auth", "query", "query", "disconnect"],
+    ["connect", "auth", "disconnect"],
+]
+
+LIVE_SESSIONS = [
+    ("session-1", ["connect", "auth", "query", "disconnect"]),
+    ("session-2", ["connect", "auth", "query"]),  # never disconnects
+    ("session-3", ["connect", "auth", "disconnect"]),
+]
+
+
+def main() -> None:
+    # 1. Mine the bootstrap corpus and serve the rules.
+    mined = mine_non_redundant_rules(
+        SequenceDatabase.from_sequences(BOOTSTRAP), min_s_support=2, min_confidence=0.9
+    )
+    print(f"mined {len(mined.rules)} rules from {len(BOOTSTRAP)} bootstrap traces")
+
+    with MonitorPool(mined.rules, shards=2, queue_depth=64) as pool:
+        with EventPushServer(pool, port=0) as server:  # port 0: ephemeral
+            host, port = server.address
+            print(f"serving on {host}:{port}\n")
+
+            with PushClient(host, port) as client:
+                # 2. Push the sessions interleaved: one event of each in
+                # turn, so all three are open at once (a logical session is
+                # keyed by its id, not by the connection).
+                longest = max(len(events) for _, events in LIVE_SESSIONS)
+                for step in range(longest):
+                    for session_id, events in LIVE_SESSIONS:
+                        if step < len(events):
+                            reply = client.feed(session_id, events[step])
+                            assert reply == {"op": "OK"}, reply
+
+                for session_id, _ in LIVE_SESSIONS:
+                    reply = client.end(session_id)
+                    print(
+                        f"{session_id}: {reply['points']} points, "
+                        f"{reply['violation_count']} violations"
+                    )
+                    for violation in reply["violations"]:
+                        print(
+                            f"   {violation['trace_name']}@{violation['position']}: "
+                            f"{violation['premise']} -> {violation['consequent']} "
+                            "never completed"
+                        )
+
+                # 3. Hot swap over the wire.  A session admitted *before*
+                # the swap keeps monitoring its admission-time rules.
+                client.feed("straggler", "connect")
+                repository = SpecificationRepository(name="swapped")
+                for rule in mined.rules[:1]:
+                    repository.add_rule(rule)
+                reply = client.swap(repository)
+                print(
+                    f"\nswapped to generation {reply['generation']} "
+                    f"({reply['rules']} rules served)"
+                )
+                straggler = client.end("straggler")
+                print(
+                    f"straggler (admitted at generation 0): "
+                    f"{straggler['points']} points, "
+                    f"{straggler['violation_count']} violations"
+                )
+
+                # 4. Aggregate report and operational counters.
+                report = client.report(limit=0)
+                stats = client.stats()
+                print(
+                    f"\naggregate: {report['points']} points, "
+                    f"{report['violation_count']} violations across "
+                    f"{stats['sessions_closed']} sessions "
+                    f"({stats['events_processed']} events, "
+                    f"{stats['busy_rejections']} busy rejections)"
+                )
+
+
+if __name__ == "__main__":
+    main()

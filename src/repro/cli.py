@@ -10,7 +10,11 @@ Sub-commands cover the full workflow of the paper:
 * ``monitor``      — check a specification repository against traces
   (``--stream`` compiles the rules and checks one event at a time);
 * ``watch``        — the serving daemon: tail a directory into a store,
-  re-mine incrementally, hot-swap the compiled rules, monitor new traces.
+  re-mine incrementally, hot-swap the compiled rules, monitor new traces
+  (``--push-port`` additionally hosts the event-push socket front end);
+* ``serve``        — the network serving plane alone: load a specification
+  repository and serve live pushed sessions over TCP through a sharded
+  monitor pool (see ``docs/serving.md`` for the wire protocol).
 
 Every command reads and writes the trace formats of :mod:`repro.traces.io`
 (text / jsonl / csv, each with a transparent ``.gz`` variant) and prints
@@ -53,6 +57,8 @@ from .ingest.formats import (
 from .ingest.incremental import IncrementalMiner
 from .ingest.store import TraceStore
 from .serving.daemon import WatchDaemon
+from .serving.pool import MonitorPool
+from .serving.server import EventPushServer
 from .serving.stream_monitor import StreamingMonitor
 from .specs.repository import SpecificationRepository
 from .traces.io import read_traces, write_traces
@@ -155,7 +161,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-cycles",
         type=_positive_int,
         default=None,
-        help="stop after this many poll cycles (default: run until Ctrl-C)",
+        help="stop after this many poll cycles; every cycle counts, "
+        "including idle ones that find no new files (default: run until "
+        "Ctrl-C)",
     )
     watch.add_argument("--min-s-support", type=float, default=2.0)
     watch.add_argument("--min-i-support", type=int, default=1)
@@ -170,7 +178,46 @@ def _build_parser() -> argparse.ArgumentParser:
     watch.add_argument(
         "--max-violations", type=int, default=10, help="violations to print per cycle"
     )
+    watch.add_argument(
+        "--push-port",
+        type=int,
+        default=None,
+        help="additionally serve pushed sessions over TCP on this port "
+        "(0 = ephemeral; the bound address is printed on stderr)",
+    )
     _add_engine_arguments(watch)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="event-push serving plane: accept live sessions over TCP and "
+        "monitor them against a mined specification repository through a "
+        "sharded monitor pool",
+    )
+    serve.add_argument("--rules", required=True, help="JSON specification repository to serve")
+    serve.add_argument("--host", default="127.0.0.1", help="bind host (default 127.0.0.1)")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=7311,
+        help="bind port (default 7311; 0 = ephemeral, printed on stderr)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=4,
+        help="monitor-pool worker shards; sessions spread across them by "
+        "consistent hashing (default 4)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=_positive_int,
+        default=1024,
+        help="bound on each shard's pending-work queue; a full queue "
+        "answers BUSY instead of growing (default 1024)",
+    )
+    serve.add_argument(
+        "--max-violations", type=int, default=10, help="violations to print at shutdown"
+    )
 
     return parser
 
@@ -547,13 +594,66 @@ def _command_watch(args: argparse.Namespace) -> int:
         repository_path=args.save,
         persist_cache=True,
         on_cycle=report_cycle,
+        push_port=args.push_port,
     )
-    cycles = daemon.run_forever(poll_interval=args.interval, max_cycles=args.max_cycles)
+    if daemon.push_address is not None:
+        host, port = daemon.push_address
+        print(f"push serving on {host}:{port}", file=sys.stderr, flush=True)
+    try:
+        cycles = daemon.run_forever(poll_interval=args.interval, max_cycles=args.max_cycles)
+    finally:
+        if daemon.pool is not None:
+            pushed = daemon.pool.report()
+            if pushed.total_points:
+                print(f"pushed sessions: {pushed.summary()}", file=sys.stderr)
+        daemon.close()
     report = daemon.monitoring
     print(
         f"watched {cycles} cycles: {len(daemon.store)} traces in store, "
         f"{daemon.swaps} hot swaps, {report.violation_count} violations"
     )
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    if args.port < 0:
+        print("error: --port must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        repository = SpecificationRepository.load(args.rules)
+    except (DataFormatError, OSError) as error:
+        print(f"error: {args.rules}: {error}", file=sys.stderr)
+        return 2
+    if not repository.rules:
+        print("note: the specification repository contains no rules", file=sys.stderr)
+    pool = MonitorPool(repository.rules, shards=args.shards, queue_depth=args.queue_depth)
+    server = EventPushServer(pool, host=args.host, port=args.port)
+    host, port = server.address
+    # The bound address goes to stderr first (and flushed): with --port 0
+    # it is the only way a supervising process learns the ephemeral port.
+    print(
+        f"serving {len(repository.rules)} rules on {host}:{port} "
+        f"(shards={args.shards}, queue-depth={args.queue_depth})",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.close()
+        stats = pool.stats()
+        report = pool.report()
+        pool.close()
+        print(
+            f"served {stats['sessions_closed']} sessions "
+            f"({stats['events_processed']} events, {stats['busy_rejections']} busy "
+            f"rejections, generation {stats['generation']})"
+        )
+        print(report.summary())
+        for violation in report.violations[: args.max_violations]:
+            print(f"  VIOLATION {violation.describe()}")
     return 0
 
 
@@ -565,6 +665,7 @@ _COMMANDS = {
     "mine-rules": _command_mine_rules,
     "monitor": _command_monitor,
     "watch": _command_watch,
+    "serve": _command_serve,
 }
 
 

@@ -124,7 +124,22 @@ def _decode_traces(handle, nbytes: int) -> Iterator[EncodedTrace]:
 
 
 class TraceStore:
-    """Append-only trace storage with an interned vocabulary and a manifest."""
+    """Append-only trace storage with an interned vocabulary and a manifest.
+
+    The constructor opens an existing store or (with ``create=True``, the
+    default) initialises an empty one; :meth:`open` is the strict variant
+    for "this must already exist" callers like the CLI.  Appends go through
+    :meth:`append_batch` / :meth:`append_trace_file` and are atomic at the
+    batch level — readers never observe half a batch.  Reads are either
+    whole-corpus (:meth:`snapshot` decodes everything into a
+    :class:`~repro.core.sequence.SequenceDatabase` for mining) or
+    batch-granular (:meth:`iter_traces` with a start batch, plus
+    :meth:`alphabet_since` — what incremental refresh uses to decide which
+    roots an append can touch).  ``len(store)`` counts
+    traces; :attr:`fingerprint` is the chained content hash of everything
+    appended so far, quoted as provenance by specification repositories
+    and the persisted incremental-mining cache.
+    """
 
     def __init__(self, directory: PathLike, *, create: bool = True) -> None:
         self.directory = Path(directory)

@@ -1,4 +1,4 @@
-"""Online specification serving: compiled automata, streaming monitor, daemon.
+"""Online specification serving: compiled automata, monitors, network plane.
 
 The offline layers mine specifications from a finished corpus; this package
 serves them against *live* traffic:
@@ -11,22 +11,48 @@ serves them against *live* traffic:
   incremental checker (``feed`` / ``end_trace`` / ``report``) emitting
   exactly the violations the offline
   :class:`~repro.verification.monitor.RuleMonitor` would;
+* :mod:`repro.serving.pool` — :class:`MonitorPool`, the multi-tenant layer:
+  worker shards with bounded queues and ``BUSY`` backpressure,
+  consistent-hash session→shard affinity, generation-numbered hot swap of
+  the shared compiled rule set, and deterministic report aggregation;
+* :mod:`repro.serving.server` — :class:`EventPushServer` /
+  :class:`PushClient`, the TCP front end speaking a length-prefixed JSON
+  frame protocol (``EVENT``/``BATCH``/``END``/``STATS``/``REPORT``/``SWAP``),
+  multiplexing logical sessions over connections (the ``repro serve``
+  command);
 * :mod:`repro.serving.daemon` — :class:`WatchDaemon`, the poll-based
   mine→serve→monitor loop: tail a directory into a
   :class:`~repro.ingest.store.TraceStore`, refresh an
   :class:`~repro.ingest.incremental.IncrementalMiner` on appends, hot-swap
-  the compiled rule set, and monitor the new traces against it.
+  the compiled rule set, and monitor the new traces against it — with an
+  optional push mode that hosts the socket front end and hot-swaps the
+  pool alongside the daemon's own automaton.
+
+``docs/serving.md`` documents the wire protocol and operations;
+``docs/architecture.md`` places the serving plane in the end-to-end
+dataflow.
 """
 
 from .compile import CompiledRuleSet, compile_rules
 from .daemon import WatchCycle, WatchDaemon
+from .pool import ACCEPTED, BUSY, MonitorPool, SessionTicket
+from .server import EventPushServer, ProtocolError, PushClient, encode_frame, read_frame
 from .stream_monitor import StreamingMonitor, monitor_stream
 
 __all__ = [
+    "ACCEPTED",
+    "BUSY",
     "CompiledRuleSet",
     "compile_rules",
+    "EventPushServer",
+    "MonitorPool",
+    "ProtocolError",
+    "PushClient",
+    "SessionTicket",
     "StreamingMonitor",
     "monitor_stream",
     "WatchCycle",
     "WatchDaemon",
+    "encode_frame",
+    "read_frame",
 ]

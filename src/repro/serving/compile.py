@@ -35,9 +35,14 @@ semantics (Definition 5.1):
 
 The compiled artifact is immutable and shared: any number of concurrent
 :class:`~repro.serving.stream_monitor.StreamingMonitor` sessions can serve
-from one :class:`CompiledRuleSet`, and the watch daemon hot-swaps it
-atomically (an ordinary attribute assignment) when a re-mine changes the
-rule set.
+from one :class:`CompiledRuleSet`.  A rule-set change never mutates a
+compiled set — it compiles a new one and swaps the reference.  The watch
+daemon swaps its serving automaton this way on every re-mine, and the
+:class:`~repro.serving.pool.MonitorPool` numbers the swaps with a
+*generation* counter: each session is pinned to the compiled set current
+at its admission, so in-flight sessions finish on their generation while
+new sessions pick up the swap (``docs/serving.md`` documents the
+contract).
 """
 
 from __future__ import annotations

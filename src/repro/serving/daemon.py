@@ -25,7 +25,21 @@ process with no dependencies beyond the standard library:
    report.
 
 ``run_once`` executes one cycle (what the tests drive); ``run_forever``
-polls with a sleep between cycles until ``max_cycles`` or Ctrl-C.
+polls with a sleep between cycles until ``max_cycles`` or Ctrl-C.  Every
+poll cycle counts toward ``max_cycles``, including cycles that find no new
+files — the limit bounds *wall-clock polling*, not ingest work (pinned by
+``tests/serving/test_daemon.py``).
+
+**Push mode**: with ``push_port`` set, the daemon additionally hosts the
+serving plane's socket front end (:class:`~repro.serving.server
+.EventPushServer` over a :class:`~repro.serving.pool.MonitorPool`): live
+sessions push events over TCP while the daemon keeps mining the watched
+directory, and every hot swap of the daemon's automaton also installs a
+new compile generation in the pool — in-flight push sessions finish on the
+generation they started with, new ones serve the fresh rules.  The pool's
+violation reports are a separate surface from the daemon's own file-based
+:attr:`monitoring` (push sessions are numbered in admission order, file
+traces corpus-wide).
 """
 
 from __future__ import annotations
@@ -47,6 +61,8 @@ from ..rules.rule import RecurrentRule
 from ..specs.repository import SpecificationRepository
 from ..verification.violations import MonitoringReport
 from .compile import CompiledRuleSet, compile_rules
+from .pool import DEFAULT_QUEUE_DEPTH, MonitorPool
+from .server import EventPushServer
 from .stream_monitor import StreamingMonitor
 
 PathLike = Union[str, Path]
@@ -115,6 +131,13 @@ class WatchDaemon:
         directory so a daemon restart resumes instead of re-mining.
     on_cycle:
         Callback invoked with each finished :class:`WatchCycle`.
+    push_port:
+        When given, host the event-push socket front end on this port
+        (``0`` = ephemeral; the bound address is :attr:`push_address`).
+        The pool serves the daemon's current automaton and is hot-swapped
+        with it.
+    push_host / push_shards / push_queue_depth:
+        Bind host and pool sizing for push mode.
     """
 
     def __init__(
@@ -128,6 +151,10 @@ class WatchDaemon:
         repository_path: Optional[PathLike] = None,
         persist_cache: bool = False,
         on_cycle: Optional[Callable[[WatchCycle], None]] = None,
+        push_port: Optional[int] = None,
+        push_host: str = "127.0.0.1",
+        push_shards: int = 4,
+        push_queue_depth: int = DEFAULT_QUEUE_DEPTH,
     ) -> None:
         # Resolved so a restart with a different spelling of the same
         # directory (relative vs absolute, trailing ..) still recognises
@@ -156,6 +183,30 @@ class WatchDaemon:
         # still sitting in the watched directory, duplicating the corpus).
         self._state_path = self.store.directory / "watch_state.json"
         self._load_watch_state()
+        #: Push mode: the pool + socket front end, live for the daemon's
+        #: whole life and hot-swapped together with :attr:`compiled`.
+        self.pool: Optional[MonitorPool] = None
+        self.push_server: Optional[EventPushServer] = None
+        if push_port is not None:
+            self.pool = MonitorPool(
+                self.compiled, shards=push_shards, queue_depth=push_queue_depth
+            )
+            self.push_server = EventPushServer(self.pool, host=push_host, port=push_port)
+            self.push_server.start()
+
+    @property
+    def push_address(self) -> Optional[Tuple[str, int]]:
+        """The push front end's bound ``(host, port)``; ``None`` without push mode."""
+        return self.push_server.address if self.push_server is not None else None
+
+    def close(self) -> None:
+        """Stop push mode (server, then pool).  Safe to call repeatedly."""
+        if self.push_server is not None:
+            self.push_server.close()
+            self.push_server = None
+        if self.pool is not None:
+            self.pool.close()
+            self.pool = None
 
     # ------------------------------------------------------------------ #
     # Watch-state persistence
@@ -313,6 +364,10 @@ class WatchDaemon:
         self.compiled = compile_rules(rules)
         self._served_rules = rules
         self.swaps += 1
+        if self.pool is not None:
+            # Push sessions already open finish on their admission
+            # generation; new sessions pick up this compile.
+            self.pool.swap(self.compiled)
         self.repository.replace_rules(
             rules,
             source=SpecificationRepository.provenance_from(self.store.describe()),

@@ -1,0 +1,485 @@
+"""A sharded, multi-tenant pool of streaming monitors.
+
+One :class:`~repro.serving.stream_monitor.StreamingMonitor` checks one
+session at a time.  Production traffic is thousands of *interleaved* live
+sessions, so the serving plane needs a layer that multiplexes them:
+:class:`MonitorPool` owns a fixed set of worker **shards**, each running one
+thread over a bounded queue, and routes every session to exactly one shard
+by **consistent hashing** of its session id.  All events of a session
+therefore flow through one FIFO queue — per-session event order is
+preserved by construction — while different sessions progress in parallel
+across shards.
+
+The pool makes three serving guarantees:
+
+* **bounded memory** — each shard's queue is bounded (``queue_depth``
+  items).  A producer feeding a shard whose queue is full gets
+  :data:`BUSY` back immediately instead of growing the queue; the caller
+  (the socket front end) surfaces that to the client, which retries.  A
+  slow shard can therefore never take the process down, only slow its own
+  sessions' producers;
+* **generation-numbered hot swap** — all shards serve one immutable
+  :class:`~repro.serving.compile.CompiledRuleSet`.  :meth:`MonitorPool.swap`
+  installs a new compiled generation with a single reference assignment:
+  sessions already open keep the generation they started on until they
+  close (their in-flight matching state is only meaningful against it),
+  sessions opened after the swap get the new one.  No lock is held while
+  monitoring — the compiled set is immutable and shared;
+* **deterministic aggregation** — every closed session's report is kept
+  with the session's admission index and
+  :meth:`MonitorPool.report` merges them *in admission order* through
+  :meth:`MonitoringReport.merge_all
+  <repro.verification.violations.MonitoringReport.merge_all>`.  The merged
+  report is byte-identical to a single ``StreamingMonitor`` fed the same
+  sessions one after another in admission order — the parity contract
+  pinned by the hypothesis suite in ``tests/serving/test_pool.py``,
+  including across a mid-stream hot swap.
+
+The pool is transport-agnostic: the TCP front end in
+:mod:`repro.serving.server` is one producer, the watch daemon's push mode
+another, and tests drive it directly.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import queue
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..core.errors import MonitoringError
+from ..core.events import EventLabel
+from ..verification.violations import MonitoringReport
+from .compile import CompiledRuleSet, RuleSource, compile_rules
+from .stream_monitor import StreamingMonitor
+
+#: :meth:`MonitorPool.feed` accepted the events (they are queued in order).
+ACCEPTED = "ok"
+#: The session's shard queue is full: nothing was queued, retry later.
+BUSY = "busy"
+
+#: Virtual ring points per shard.  More replicas smooth the session
+#: distribution; 64 keeps the spread within a few percent of uniform while
+#: the ring stays tiny.
+DEFAULT_RING_REPLICAS = 64
+#: Default bound on each shard's pending-item queue.
+DEFAULT_QUEUE_DEPTH = 1024
+
+
+def _ring_point(key: str) -> int:
+    """A stable 64-bit ring position for ``key``.
+
+    SHA-1 rather than ``hash()``: Python's string hash is randomized per
+    process, and session→shard affinity must agree across restarts and
+    across the processes of a future multi-host deployment.
+    """
+    return int.from_bytes(hashlib.sha1(key.encode("utf-8")).digest()[:8], "big")
+
+
+class SessionTicket:
+    """Handle for one session's in-flight close.
+
+    :meth:`MonitorPool.end_session` enqueues the close behind the session's
+    still-queued events and returns one of these; :meth:`wait` blocks until
+    the shard processed everything and produced the session's final
+    :class:`~repro.verification.violations.MonitoringReport`.
+    """
+
+    __slots__ = ("_done", "_report", "_error")
+
+    def __init__(self) -> None:
+        self._done = threading.Event()
+        self._report: Optional[MonitoringReport] = None
+        self._error: Optional[BaseException] = None
+
+    def _resolve(self, report: MonitoringReport) -> None:
+        self._report = report
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+    @property
+    def done(self) -> bool:
+        """Whether the session's close has been processed by its shard."""
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> MonitoringReport:
+        """Block until the session closed; return its final report."""
+        if not self._done.wait(timeout):
+            raise MonitoringError("timed out waiting for the session to close")
+        if self._error is not None:
+            raise self._error
+        assert self._report is not None
+        return self._report
+
+
+class _Session:
+    """One live logical session: its monitor, admission index and generation."""
+
+    __slots__ = ("session_id", "index", "generation", "monitor", "shard", "events_fed")
+
+    def __init__(
+        self,
+        session_id: str,
+        index: int,
+        generation: int,
+        monitor: StreamingMonitor,
+        shard: "_Shard",
+    ) -> None:
+        self.session_id = session_id
+        self.index = index
+        self.generation = generation
+        self.monitor = monitor
+        self.shard = shard
+        self.events_fed = 0
+
+
+class _Shard:
+    """One worker thread draining one bounded queue of session work items."""
+
+    def __init__(self, index: int, queue_depth: int) -> None:
+        self.index = index
+        self.queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
+        self.lock = threading.Lock()
+        #: ``(admission index, final report)`` of every session closed here.
+        self.closed: List[Tuple[int, MonitoringReport]] = []
+        self.events_processed = 0
+        self.sessions_closed = 0
+        self.errors = 0
+        # The pause gate: cleared = the worker stalls *after* dequeuing at
+        # most one item, so a paused shard's queue genuinely fills up.
+        # Operational drains and the backpressure tests both use it.
+        self._gate = threading.Event()
+        self._gate.set()
+        self.thread = threading.Thread(
+            target=self._worker, name=f"monitor-shard-{index}", daemon=True
+        )
+        self.thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Worker
+    # ------------------------------------------------------------------ #
+    def _worker(self) -> None:
+        while True:
+            item = self.queue.get()
+            self._gate.wait()
+            kind = item[0]
+            if kind == "stop":
+                return
+            try:
+                if kind == "events":
+                    _, session, events = item
+                    monitor = session.monitor
+                    for event in events:
+                        monitor.feed(event)
+                    session.events_fed += len(events)
+                    self.events_processed += len(events)
+                else:  # "end"
+                    _, session, ticket = item
+                    # The trace was opened (named) at admission, so a
+                    # zero-event session is simply a zero-length trace: its
+                    # report still carries the rule set's zero point tallies.
+                    report = session.monitor.end_trace()
+                    with self.lock:
+                        self.closed.append((session.index, report))
+                        self.sessions_closed += 1
+                    ticket._resolve(report)
+            except BaseException as error:  # pragma: no cover - defensive
+                self.errors += 1
+                if kind == "end":
+                    item[2]._fail(error)
+
+    # ------------------------------------------------------------------ #
+    # Control
+    # ------------------------------------------------------------------ #
+    def pause(self) -> None:
+        """Stall the worker (it finishes at most the item already in hand)."""
+        self._gate.clear()
+
+    def resume(self) -> None:
+        self._gate.set()
+
+    def stop(self) -> None:
+        self.resume()
+        self.queue.put(("stop",))
+        self.thread.join(timeout=10.0)
+
+    def stats(self) -> Dict[str, int]:
+        with self.lock:
+            closed = self.sessions_closed
+        return {
+            "shard": self.index,
+            "queued": self.queue.qsize(),
+            "events_processed": self.events_processed,
+            "sessions_closed": closed,
+            "errors": self.errors,
+        }
+
+
+class MonitorPool:
+    """Serve many concurrent logical sessions over sharded monitors.
+
+    Parameters
+    ----------
+    rules:
+        Anything :func:`~repro.serving.compile.compile_rules` accepts — an
+        already-compiled :class:`CompiledRuleSet`, an iterable of rules, or
+        a specification repository.  This is generation 0.
+    shards:
+        Number of worker shards (threads).  Sessions are spread across
+        them by consistent hashing; all events of one session stay on one
+        shard.
+    queue_depth:
+        Bound on each shard's pending work-item queue (an item is one
+        :meth:`feed` batch or one session close).  A full queue answers
+        :data:`BUSY` instead of growing.
+    ring_replicas:
+        Virtual ring points per shard for the consistent-hash ring.
+
+    Example
+    -------
+    >>> pool = MonitorPool(rules, shards=4)
+    >>> pool.feed("session-a", "connect")        # ACCEPTED or BUSY
+    >>> ticket = pool.end_session("session-a")
+    >>> ticket.wait().violation_count
+    >>> pool.report()                            # all closed sessions, merged
+    """
+
+    def __init__(
+        self,
+        rules: Union[RuleSource, CompiledRuleSet],
+        *,
+        shards: int = 4,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        ring_replicas: int = DEFAULT_RING_REPLICAS,
+    ) -> None:
+        if shards < 1:
+            raise MonitoringError("a monitor pool needs at least one shard")
+        if queue_depth < 1:
+            raise MonitoringError("queue_depth must be positive")
+        self.queue_depth = queue_depth
+        self._compiled = (
+            rules if isinstance(rules, CompiledRuleSet) else compile_rules(rules)
+        )
+        self._generation = 0
+        self._lock = threading.Lock()
+        self._shards = [_Shard(index, queue_depth) for index in range(shards)]
+        self._sessions: Dict[str, _Session] = {}
+        self._next_index = 0
+        self._sessions_opened = 0
+        self._busy_rejections = 0
+        self._closed = False
+        # Consistent-hash ring: shard ownership moves minimally when the
+        # shard count changes (the property multi-host sharding needs).
+        ring: List[Tuple[int, int]] = []
+        for shard in range(shards):
+            for replica in range(ring_replicas):
+                ring.append((_ring_point(f"shard-{shard}:vnode-{replica}"), shard))
+        ring.sort()
+        self._ring_points = [point for point, _ in ring]
+        self._ring_shards = [shard for _, shard in ring]
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def route(self, session_id: str) -> int:
+        """The shard index owning ``session_id`` (stable across processes)."""
+        position = bisect.bisect(self._ring_points, _ring_point(session_id))
+        return self._ring_shards[position % len(self._ring_shards)]
+
+    # ------------------------------------------------------------------ #
+    # The hot path: feeding events
+    # ------------------------------------------------------------------ #
+    def feed(self, session_id: str, event: EventLabel) -> str:
+        """Queue one event for ``session_id``; :data:`ACCEPTED` or :data:`BUSY`."""
+        return self.feed_batch(session_id, (event,))
+
+    def feed_batch(self, session_id: str, events: Iterable[EventLabel]) -> str:
+        """Queue a batch of events for one session, atomically.
+
+        The whole batch is one queue item: either every event is accepted
+        (in order, behind the session's earlier batches) or — when the
+        session's shard queue is full — none is and :data:`BUSY` comes
+        back, so a retry never reorders or duplicates a prefix.  The first
+        accepted batch admits the session: it is assigned the next
+        admission index and the *current* compile generation.
+        """
+        batch = tuple(events)
+        with self._lock:
+            if self._closed:
+                raise MonitoringError("the monitor pool is closed")
+            session = self._sessions.get(session_id)
+            if session is None:
+                shard = self._shards[self.route(session_id)]
+                monitor = StreamingMonitor(self._compiled, first_trace_index=self._next_index)
+                # Open the trace here, named after the session, so violations
+                # identify their session.  Safe without the shard lock: the
+                # worker cannot see this monitor until the first queue item
+                # below is enqueued.
+                monitor.begin_trace(name=session_id)
+                session = _Session(
+                    session_id,
+                    self._next_index,
+                    self._generation,
+                    monitor,
+                    shard,
+                )
+                try:
+                    shard.queue.put_nowait(("events", session, batch))
+                except queue.Full:
+                    self._busy_rejections += 1
+                    return BUSY
+                # Admission is committed only with the first accepted
+                # batch, so a BUSY first contact burns no index.
+                self._sessions[session_id] = session
+                self._next_index += 1
+                self._sessions_opened += 1
+                return ACCEPTED
+            try:
+                session.shard.queue.put_nowait(("events", session, batch))
+            except queue.Full:
+                self._busy_rejections += 1
+                return BUSY
+        return ACCEPTED
+
+    def end_session(self, session_id: str) -> Optional[SessionTicket]:
+        """Close a session: queue its end behind its pending events.
+
+        Returns a :class:`SessionTicket` to wait on, or ``None`` when the
+        shard queue is full (:data:`BUSY` — the session stays open and the
+        caller retries).  Ending an unknown session raises
+        :class:`MonitoringError`.  A closed session's id may be reused: the
+        next :meth:`feed` under it admits a brand-new session.
+        """
+        with self._lock:
+            if self._closed:
+                raise MonitoringError("the monitor pool is closed")
+            session = self._sessions.get(session_id)
+            if session is None:
+                raise MonitoringError(f"unknown session {session_id!r}")
+            ticket = SessionTicket()
+            try:
+                session.shard.queue.put_nowait(("end", session, ticket))
+            except queue.Full:
+                self._busy_rejections += 1
+                return None
+            del self._sessions[session_id]
+            return ticket
+
+    # ------------------------------------------------------------------ #
+    # Hot swap
+    # ------------------------------------------------------------------ #
+    @property
+    def generation(self) -> int:
+        """The current compile generation (0 = the rules the pool opened with)."""
+        return self._generation
+
+    @property
+    def compiled(self) -> CompiledRuleSet:
+        """The compiled rule set new sessions are currently admitted under."""
+        return self._compiled
+
+    def swap(self, rules: Union[RuleSource, CompiledRuleSet]) -> int:
+        """Install a new compiled generation; returns its generation number.
+
+        In-flight sessions keep the generation they were admitted under
+        (their matching state is only meaningful against it) and finish on
+        it; sessions admitted after the swap serve the new rule set.  The
+        swap itself is a reference assignment — no monitoring work pauses.
+        """
+        compiled = (
+            rules if isinstance(rules, CompiledRuleSet) else compile_rules(rules)
+        )
+        with self._lock:
+            self._compiled = compiled
+            self._generation += 1
+            return self._generation
+
+    # ------------------------------------------------------------------ #
+    # Aggregation and introspection
+    # ------------------------------------------------------------------ #
+    def report(self) -> MonitoringReport:
+        """The merged report over every *closed* session, in admission order.
+
+        Sessions still open contribute nothing until they end.  Merging in
+        admission order makes the aggregate deterministic and byte-identical
+        to one :class:`StreamingMonitor` fed the same sessions sequentially
+        — regardless of how their events interleaved across shards.
+        """
+        entries: List[Tuple[int, MonitoringReport]] = []
+        for shard in self._shards:
+            with shard.lock:
+                entries.extend(shard.closed)
+        entries.sort(key=lambda entry: entry[0])
+        return MonitoringReport.merge_all(report for _, report in entries)
+
+    @property
+    def active_sessions(self) -> int:
+        """Sessions admitted and not yet closed."""
+        with self._lock:
+            return len(self._sessions)
+
+    def stats(self) -> Dict[str, object]:
+        """Counters for the ``STATS`` control verb and operations."""
+        with self._lock:
+            active = len(self._sessions)
+            opened = self._sessions_opened
+            busy = self._busy_rejections
+            generation = self._generation
+            rules = len(self._compiled)
+        shard_stats = [shard.stats() for shard in self._shards]
+        return {
+            "shards": len(self._shards),
+            "queue_depth": self.queue_depth,
+            "generation": generation,
+            "rules": rules,
+            "sessions_active": active,
+            "sessions_opened": opened,
+            "sessions_closed": sum(entry["sessions_closed"] for entry in shard_stats),
+            "events_processed": sum(entry["events_processed"] for entry in shard_stats),
+            "busy_rejections": busy,
+            "per_shard": shard_stats,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Shard control and lifecycle
+    # ------------------------------------------------------------------ #
+    def pause_shard(self, index: int) -> None:
+        """Stall one shard's worker (drains/tests); queued work waits."""
+        self._shards[index].pause()
+
+    def resume_shard(self, index: int) -> None:
+        self._shards[index].resume()
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Best-effort wait until every shard queue is empty.
+
+        The item a worker already holds may still be in flight when this
+        returns; session closes have their own exact barrier
+        (:meth:`SessionTicket.wait`).
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if all(shard.queue.empty() for shard in self._shards):
+                return True
+            time.sleep(0.005)
+        return False
+
+    def close(self) -> None:
+        """Stop every shard worker.  Open sessions are abandoned unclosed."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for shard in self._shards:
+            shard.stop()
+
+    def __enter__(self) -> "MonitorPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

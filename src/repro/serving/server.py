@@ -1,0 +1,405 @@
+"""The event-push socket front end over a :class:`MonitorPool`.
+
+The watch daemon *polls files*; production traffic is *pushed*.  This module
+is the network edge of the serving plane: a TCP server speaking a
+length-prefixed JSON frame protocol, multiplexing any number of **logical
+sessions** over any number of connections.  A session is identified by its
+``session`` id, **not** by the connection carrying it — one connection may
+drive thousands of interleaved sessions, a session may migrate between
+connections, and several producer processes may push into one pool.
+
+Wire format (documented in full in ``docs/serving.md``)::
+
+    frame   := length payload
+    length  := 4-byte big-endian unsigned payload byte count
+    payload := one UTF-8 JSON object with an "op" field
+
+Requests are answered with exactly one reply frame each, in request order,
+so clients may pipeline freely.  The verbs:
+
+========  ============================================================
+``EVENT``     push one event of a session (reply ``OK`` / ``BUSY``)
+``BATCH``     push several events of one session atomically
+``END``       close a session; the reply carries its final report
+``STATS``     pool/server counters (shards, queues, generations)
+``REPORT``    the aggregate over all closed sessions
+``SWAP``      hot-swap the served rule set to a new compile generation
+``PING``      liveness probe (reply ``PONG``)
+``SHUTDOWN``  stop the server after acknowledging
+========  ============================================================
+
+``BUSY`` is the backpressure half of the protocol: it means the session's
+shard queue was full and *nothing* was queued — the client must resend the
+same frame (typically after a short backoff).  Because a batch is accepted
+or rejected atomically, retrying can never duplicate or reorder a prefix.
+
+:class:`PushClient` is the matching client: a thin framing wrapper plus
+convenience verbs and a pipelined bulk mode, used by the bench driver, the
+protocol tests and ``examples/push_client.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import struct
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.errors import DataFormatError, MonitoringError
+from ..specs.repository import SpecificationRepository
+from .pool import ACCEPTED, MonitorPool
+
+#: Frames above this size are refused (and the connection closed): a bad
+#: length prefix must never make the server buffer gigabytes.
+DEFAULT_MAX_FRAME_BYTES = 1 << 20
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """A malformed frame — the connection cannot be trusted past it."""
+
+
+# --------------------------------------------------------------------- #
+# Framing (shared by server, client and the example script)
+# --------------------------------------------------------------------- #
+def encode_frame(payload: Dict[str, object]) -> bytes:
+    """Encode one JSON object as a length-prefixed frame."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return _LENGTH.pack(len(body)) + body
+
+
+def read_frame(
+    stream, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> Optional[Dict[str, object]]:
+    """Read one frame from a binary file-like stream.
+
+    Returns ``None`` on a clean end of stream (EOF exactly between frames);
+    raises :class:`ProtocolError` on a truncated or oversized frame or a
+    payload that is not a JSON object.
+    """
+    header = stream.read(_LENGTH.size)
+    if not header:
+        return None
+    if len(header) != _LENGTH.size:
+        raise ProtocolError("truncated frame header")
+    (length,) = _LENGTH.unpack(header)
+    if length > max_frame_bytes:
+        raise ProtocolError(f"frame of {length} bytes exceeds the {max_frame_bytes} byte limit")
+    body = stream.read(length)
+    if len(body) != length:
+        raise ProtocolError("truncated frame payload")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame payload is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return payload
+
+
+def _string_field(payload: Dict[str, object], field: str) -> str:
+    value = payload.get(field)
+    if not isinstance(value, str) or not value:
+        raise MonitoringError(f"{payload.get('op', '?')} needs a non-empty string {field!r}")
+    return value
+
+
+def _report_payload(report, limit: Optional[int]) -> Dict[str, object]:
+    violations = report.violations if limit is None else report.violations[:limit]
+    return {
+        "points": report.total_points,
+        "satisfied": report.satisfied_points,
+        "violation_count": report.violation_count,
+        "violations": [violation.as_dict() for violation in violations],
+    }
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: read frames, dispatch verbs, reply in order."""
+
+    def handle(self) -> None:  # noqa: D102 - socketserver plumbing
+        server: "_PushTCPServer" = self.server  # type: ignore[assignment]
+        front = server.front
+        while True:
+            try:
+                payload = read_frame(self.rfile, front.max_frame_bytes)
+            except ProtocolError as error:
+                self._reply({"op": "ERROR", "error": str(error)})
+                return  # framing is gone; drop the connection
+            if payload is None:
+                return
+            try:
+                reply, stop = front._dispatch(payload)
+            except (MonitoringError, DataFormatError, KeyError, TypeError, ValueError) as error:
+                reply, stop = {"op": "ERROR", "error": str(error)}, False
+            try:
+                self._reply(reply)
+            except OSError:
+                return
+            if stop:
+                # Acknowledge first, then stop accepting: SHUTDOWN's OK
+                # must reach the client that asked for it.
+                threading.Thread(target=server.shutdown, daemon=True).start()
+                return
+
+    def _reply(self, payload: Dict[str, object]) -> None:
+        self.wfile.write(encode_frame(payload))
+        self.wfile.flush()
+
+
+class _PushTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, front: "EventPushServer") -> None:
+        self.front = front
+        super().__init__(address, _Handler)
+
+
+class EventPushServer:
+    """The TCP front end: bind, accept, route frames into a pool.
+
+    Parameters
+    ----------
+    pool:
+        The :class:`~repro.serving.pool.MonitorPool` every connection
+        pushes into.  The server never monitors anything itself — it only
+        frames, validates and routes.
+    host / port:
+        Bind address; port ``0`` binds an ephemeral port (the bound
+        address is :attr:`address` either way).
+    max_frame_bytes:
+        Upper bound on one frame's payload.
+    end_timeout:
+        How long an ``END`` reply may wait for the session's shard to
+        drain the session's queued events.
+
+    Use :meth:`start` for a background server (tests, the watch daemon's
+    push mode) or :meth:`serve_forever` to block (the ``repro serve``
+    command).
+    """
+
+    def __init__(
+        self,
+        pool: MonitorPool,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        end_timeout: float = 60.0,
+    ) -> None:
+        self.pool = pool
+        self.max_frame_bytes = max_frame_bytes
+        self.end_timeout = end_timeout
+        self._server = _PushTCPServer((host, port), self)
+        self._thread: Optional[threading.Thread] = None
+        self._started = time.monotonic()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — with port 0, the port actually bound."""
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> Tuple[str, int]:
+        """Serve on a daemon thread; returns the bound address."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever, name="event-push-server", daemon=True
+            )
+            self._thread.start()
+        return self.address
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` (or SHUTDOWN)."""
+        self._server.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop accepting and unwind ``serve_forever`` (idempotent)."""
+        self._server.shutdown()
+
+    def close(self) -> None:
+        """Shut down and release the listening socket (the pool stays up)."""
+        self.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "EventPushServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Verb dispatch
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, payload: Dict[str, object]) -> Tuple[Dict[str, object], bool]:
+        """Handle one request; returns ``(reply, stop_serving)``."""
+        op = payload.get("op")
+        if op == "EVENT":
+            session = _string_field(payload, "session")
+            event = _string_field(payload, "event")
+            status = self.pool.feed(session, event)
+            return ({"op": "OK"} if status == ACCEPTED else {"op": "BUSY"}), False
+        if op == "BATCH":
+            session = _string_field(payload, "session")
+            events = payload.get("events")
+            if not isinstance(events, list) or not all(
+                isinstance(event, str) for event in events
+            ):
+                raise MonitoringError("BATCH needs an 'events' list of strings")
+            status = self.pool.feed_batch(session, events)
+            return ({"op": "OK"} if status == ACCEPTED else {"op": "BUSY"}), False
+        if op == "END":
+            session = _string_field(payload, "session")
+            ticket = self.pool.end_session(session)
+            if ticket is None:
+                return {"op": "BUSY"}, False
+            report = ticket.wait(timeout=self.end_timeout)
+            limit = payload.get("limit")
+            reply = {"op": "SESSION", "session": session}
+            reply.update(_report_payload(report, limit if isinstance(limit, int) else None))
+            return reply, False
+        if op == "STATS":
+            stats = dict(self.pool.stats())
+            stats["op"] = "STATS"
+            stats["uptime_seconds"] = round(time.monotonic() - self._started, 3)
+            return stats, False
+        if op == "REPORT":
+            limit = payload.get("limit")
+            reply = {"op": "REPORT"}
+            reply.update(
+                _report_payload(self.pool.report(), limit if isinstance(limit, int) else None)
+            )
+            return reply, False
+        if op == "SWAP":
+            repository = payload.get("repository")
+            if not isinstance(repository, dict):
+                raise MonitoringError(
+                    "SWAP needs a 'repository' object (SpecificationRepository.to_dict())"
+                )
+            rules = SpecificationRepository.from_dict(repository).rules
+            generation = self.pool.swap(rules)
+            return {"op": "OK", "generation": generation, "rules": len(rules)}, False
+        if op == "PING":
+            return {"op": "PONG"}, False
+        if op == "SHUTDOWN":
+            return {"op": "OK"}, True
+        raise MonitoringError(f"unknown op {op!r}")
+
+
+class PushClient:
+    """A small synchronous client for the push protocol.
+
+    One instance wraps one connection; any number of logical sessions can
+    be driven through it.  :meth:`request` is strict request/reply;
+    :meth:`pipeline` keeps up to ``window`` requests in flight for bulk
+    pushes (replies still arrive in request order).
+    """
+
+    def __init__(self, host: str, port: int, timeout: Optional[float] = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # -- framing ------------------------------------------------------- #
+    def send(self, payload: Dict[str, object]) -> None:
+        """Write one request frame without waiting for its reply."""
+        self._file.write(encode_frame(payload))
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def read(self) -> Dict[str, object]:
+        """Read one reply frame (replies arrive in request order)."""
+        self.flush()
+        reply = read_frame(self._file)
+        if reply is None:
+            raise ProtocolError("server closed the connection")
+        return reply
+
+    def request(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Send one request and read its reply."""
+        self.send(payload)
+        return self.read()
+
+    def pipeline(
+        self, payloads: Iterable[Dict[str, object]], window: int = 256
+    ) -> List[Dict[str, object]]:
+        """Send many requests with at most ``window`` in flight.
+
+        Bounding the in-flight window keeps both sides' socket buffers
+        from deadlocking on huge bursts (the server replies to every
+        frame; someone has to read those replies).
+        """
+        replies: List[Dict[str, object]] = []
+        pending = 0
+        for payload in payloads:
+            self.send(payload)
+            pending += 1
+            if pending >= window:
+                replies.append(self.read())
+                pending -= 1
+        for _ in range(pending):
+            replies.append(self.read())
+        return replies
+
+    # -- convenience verbs --------------------------------------------- #
+    def feed(self, session: str, event: str) -> Dict[str, object]:
+        return self.request({"op": "EVENT", "session": session, "event": event})
+
+    def feed_batch(self, session: str, events: Sequence[str]) -> Dict[str, object]:
+        return self.request({"op": "BATCH", "session": session, "events": list(events)})
+
+    def end(self, session: str, limit: Optional[int] = None) -> Dict[str, object]:
+        payload: Dict[str, object] = {"op": "END", "session": session}
+        if limit is not None:
+            payload["limit"] = limit
+        return self.request(payload)
+
+    def stats(self) -> Dict[str, object]:
+        return self.request({"op": "STATS"})
+
+    def report(self, limit: Optional[int] = None) -> Dict[str, object]:
+        payload: Dict[str, object] = {"op": "REPORT"}
+        if limit is not None:
+            payload["limit"] = limit
+        return self.request(payload)
+
+    def swap(
+        self, repository: Union[SpecificationRepository, Dict[str, object]]
+    ) -> Dict[str, object]:
+        payload = (
+            repository.to_dict()
+            if isinstance(repository, SpecificationRepository)
+            else repository
+        )
+        return self.request({"op": "SWAP", "repository": payload})
+
+    def ping(self) -> Dict[str, object]:
+        return self.request({"op": "PING"})
+
+    def shutdown(self) -> Dict[str, object]:
+        return self.request({"op": "SHUTDOWN"})
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "PushClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

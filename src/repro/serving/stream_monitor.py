@@ -174,6 +174,14 @@ class StreamingMonitor:
     numbering so violations reported by a long-running service reference
     corpus-wide trace indexes.
 
+    One instance monitors one stream of traces *sequentially* and is not
+    thread-safe; multi-tenant serving — many concurrent sessions, each its
+    own monitor over the one shared compiled set — is the job of
+    :class:`~repro.serving.pool.MonitorPool`, which also aggregates the
+    per-session reports deterministically (in admission order, so the
+    merged report is byte-identical to a single monitor fed the same
+    sessions back to back).
+
     Example
     -------
     >>> monitor = StreamingMonitor(repository.rules)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.events import EventLabel
 from ..rules.rule import RecurrentRule
@@ -30,6 +30,16 @@ class RuleViolation:
             f"{where}@{self.position}: premise {self.rule.premise} completed "
             f"but consequent {self.rule.consequent} never followed"
         )
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (what the push server puts on the wire)."""
+        return {
+            "premise": list(self.rule.premise),
+            "consequent": list(self.rule.consequent),
+            "trace_index": self.trace_index,
+            "position": self.position,
+            "trace_name": self.trace_name,
+        }
 
 
 @dataclass
@@ -68,6 +78,22 @@ class MonitoringReport:
         for key, count in other.per_rule_points.items():
             self.per_rule_points[key] = self.per_rule_points.get(key, 0) + count
         return self
+
+    @classmethod
+    def merge_all(cls, reports: Iterable["MonitoringReport"]) -> "MonitoringReport":
+        """Fold an ordered iterable of reports into one fresh report.
+
+        Merging is order-sensitive (the violation list concatenates), so
+        callers that need a deterministic aggregate — the monitor pool
+        merging per-session reports, the daemon merging per-batch reports —
+        pass the reports in a canonical order (admission/trace order) and
+        get an aggregate byte-identical to a single sequential monitor run.
+        The inputs are left untouched.
+        """
+        combined = cls()
+        for report in reports:
+            combined.merge(report)
+        return combined
 
     def violations_of(self, rule: RecurrentRule) -> List[RuleViolation]:
         """All recorded violations of one rule."""

@@ -286,3 +286,52 @@ def test_watch_cycle_json_friendly_summary(dirs):
         "violations": cycle.violation_count,
     }
     assert json.loads(json.dumps(payload)) == payload
+
+
+def test_idle_cycles_count_toward_max_cycles(dirs):
+    """--max-cycles bounds wall-clock polling: cycles that find no new
+    files still count (the pinned semantics the CLI help documents)."""
+    watch, store = dirs
+    cycles = []
+    daemon = WatchDaemon(watch, store, _miner(), on_cycle=cycles.append)
+    _write(watch / "one.jsonl", [["a", "b"], ["a", "b"]])
+    assert daemon.run_forever(poll_interval=0.0, max_cycles=4) == 4
+    assert daemon.cycles_run == 4
+    productive = [cycle for cycle in cycles if cycle.ingested]
+    assert len(productive) == 1  # only the first cycle found work
+    assert len(cycles) == 4  # ...but all four counted
+
+
+def test_push_mode_serves_sessions_and_hot_swaps_the_pool(dirs):
+    """Push mode: the daemon hosts the socket front end, and a re-mine
+    swap reaches the pool — in-flight sessions finish on their admission
+    generation while fresh sessions monitor the new rules."""
+    from repro.serving import PushClient
+
+    watch, store = dirs
+    daemon = WatchDaemon(watch, store, _miner(), push_port=0)
+    try:
+        assert daemon.push_address is not None
+        host, port = daemon.push_address
+        with PushClient(host, port) as client:
+            assert client.ping() == {"op": "PONG"}
+            # Admitted under generation 0: the vacuous pre-mine rule set.
+            client.feed("early", "a")
+            _write(watch / "day1.jsonl", [["a", "b"], ["a", "b"], ["a", "b"]])
+            cycle = daemon.run_once()
+            assert cycle.swapped
+            assert daemon.pool.generation == 1
+            # No rules existed when "early" was admitted: nothing to violate.
+            early = client.end("early")
+            assert early["points"] == 0 and early["violation_count"] == 0
+            # A fresh session monitors the freshly mined a -> b.
+            client.feed_batch("late", ["a", "x"])
+            late = client.end("late")
+            assert late["violation_count"] >= 1
+            assert late["violations"][0]["trace_name"] == "late"
+            stats = client.stats()
+            assert stats["generation"] == 1
+            assert stats["sessions_closed"] == 2
+    finally:
+        daemon.close()
+    daemon.close()  # idempotent

@@ -464,3 +464,83 @@ def test_watch_command_requires_an_existing_directory(tmp_path, capsys):
     )
     assert code == 2
     assert "no directory to watch" in capsys.readouterr().err
+
+
+def test_serve_command_round_trip(tmp_path):
+    """`repro serve --port 0` prints its bound address on stderr and speaks
+    the push protocol end to end (exercised as a real subprocess)."""
+    import os
+    import re
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    import repro
+    from repro.rules.rule import RecurrentRule
+    from repro.serving import PushClient
+    from repro.specs.repository import SpecificationRepository
+
+    specs = tmp_path / "rules.json"
+    repository = SpecificationRepository(name="serve-test")
+    repository.add_rule(
+        RecurrentRule(
+            premise=("open",), consequent=("close",), s_support=2, i_support=2, confidence=1.0
+        )
+    )
+    repository.save(specs)
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = {**os.environ}
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (src_dir, env.get("PYTHONPATH")) if part
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--rules", str(specs), "--port", "0", "--shards", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+    try:
+        banner = process.stderr.readline()
+        match = re.search(r"serving 1 rules on 127\.0\.0\.1:(\d+)", banner)
+        assert match, banner
+        port = int(match.group(1))
+        with PushClient("127.0.0.1", port) as client:
+            assert client.ping() == {"op": "PONG"}
+            assert client.feed("s", "open") == {"op": "OK"}
+            reply = client.end("s")
+            assert reply["op"] == "SESSION" and reply["violation_count"] == 1
+            client.shutdown()
+        stdout, _ = process.communicate(timeout=30)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate()
+    assert process.returncode == 0
+    assert "served 1 sessions" in stdout
+    assert "violations                : 1" in stdout
+    assert "VIOLATION" in stdout
+
+
+def test_serve_command_requires_a_readable_repository(tmp_path, capsys):
+    code = main(["serve", "--rules", str(tmp_path / "missing.json")])
+    assert code == 2
+    assert "missing.json" in capsys.readouterr().err
+
+
+def test_watch_command_with_push_port_prints_the_address(tmp_path, capsys):
+    watch_dir = tmp_path / "incoming"
+    watch_dir.mkdir()
+    code = main(
+        [
+            "watch",
+            "--dir", str(watch_dir),
+            "--store", str(tmp_path / "store"),
+            "--interval", "0.0",
+            "--max-cycles", "1",
+            "--push-port", "0",
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "push serving on 127.0.0.1:" in captured.err
+    assert "watched 1 cycles" in captured.out
