@@ -394,3 +394,132 @@ def bench_serving_concurrent_sessions(benchmark):
 
     if SCALE >= 1.0:
         assert SESSIONS >= 10_000, "canonical scale must exercise >= 10k sessions"
+
+
+# --------------------------------------------------------------------- #
+# Recovery latency of the supervised pool
+# --------------------------------------------------------------------- #
+#: Kill-and-recover cycles measured (the record keeps the median).
+RECOVERY_ROUNDS = 5
+RECOVERY_SHARDS = 2
+#: Supervisor poll interval for the recovery run; the floor of any
+#: recovery latency is one poll period.
+RECOVERY_SUPERVISOR_INTERVAL = 0.01
+
+
+def _session_routed_to(pool, shard_index: int, prefix: str) -> str:
+    for attempt in range(100_000):
+        session_id = f"{prefix}-{attempt}"
+        if pool.route(session_id) == shard_index:
+            return session_id
+    raise AssertionError(f"no session id hashed to shard {shard_index}")
+
+
+def bench_serving_recovery(benchmark):
+    """Shard-kill -> first successfully served event after the restart.
+
+    Uses the ``pool.shard`` fault point to crash a shard worker mid-run,
+    then measures until the supervisor has restarted it, answered
+    ``SESSION_LOST`` for the victim session, and the restarted shard has
+    served a re-admitted session end to end (the ``SESSION`` reply proves
+    the event was processed, not merely enqueued).  A bystander session on
+    the surviving shard must keep being served throughout.
+    """
+    from repro.serving import EventPushServer, MonitorPool, PushClient
+    from repro.testing import faults
+
+    corpus = _mining_corpus()
+    rules = NonRedundantRecurrentRuleMiner(MINING_CONFIG).mine(corpus).rules
+    assert rules, "the bench fixture must mine a non-trivial rule set"
+    compiled = compile_rules(rules)
+    events = _family_body(0) + ["f0.commit"]
+
+    def one_recovery(pool, client, round_index):
+        victim = _session_routed_to(pool, 0, f"victim-{round_index}")
+        bystander = _session_routed_to(pool, 1, f"bystander-{round_index}")
+        for event in events[:-1]:
+            assert client.feed(victim, event)["op"] == "OK"
+        assert pool.drain(timeout=30.0)
+        faults.install("pool.shard", "raise", key="0", count=1)
+        start = time.perf_counter()
+        assert client.feed(victim, events[0])["op"] == "OK"  # enqueue kills the worker
+        assert client.feed(bystander, events[0])["op"] == "OK"  # shard 1 unaffected
+        while True:  # SESSION_LOST marks the supervisor's recovery complete
+            if client.feed(victim, events[0])["op"] == "SESSION_LOST":
+                break
+            time.sleep(0.001)
+        for event in events:  # re-admitted session on the restarted shard
+            assert client.feed(victim, event)["op"] == "OK"
+        assert client.end(victim, limit=0)["op"] == "SESSION"
+        elapsed = time.perf_counter() - start
+        assert client.end(bystander, limit=0)["op"] == "SESSION"
+        return elapsed
+
+    try:
+        with MonitorPool(
+            compiled,
+            shards=RECOVERY_SHARDS,
+            supervisor_interval=RECOVERY_SUPERVISOR_INTERVAL,
+        ) as pool:
+            with EventPushServer(pool, port=0) as server:
+                with PushClient(*server.address, timeout=30.0) as client:
+                    latencies = [
+                        one_recovery(pool, client, round_index)
+                        for round_index in range(RECOVERY_ROUNDS)
+                    ]
+                    stats = client.stats()
+        assert stats["restarts"] == RECOVERY_ROUNDS
+        assert stats["sessions_lost"] >= RECOVERY_ROUNDS
+
+        # The pytest-benchmark probe: one extra cycle on a fresh stack.
+        def probe():
+            with MonitorPool(
+                compiled,
+                shards=RECOVERY_SHARDS,
+                supervisor_interval=RECOVERY_SUPERVISOR_INTERVAL,
+            ) as p:
+                with EventPushServer(p, port=0) as s:
+                    with PushClient(*s.address, timeout=30.0) as c:
+                        one_recovery(p, c, RECOVERY_ROUNDS)
+
+        benchmark.pedantic(probe, rounds=1, iterations=1)
+    finally:
+        faults.reset()
+
+    latencies.sort()
+    median = latencies[len(latencies) // 2]
+    payload = {
+        "benchmark": "serving_recovery",
+        "workload": {
+            "rules": len(rules),
+            "rounds": RECOVERY_ROUNDS,
+            "scale": SCALE,
+            "host_cpus": os.cpu_count(),
+        },
+        "pool": {
+            "shards": RECOVERY_SHARDS,
+            "supervisor_interval": RECOVERY_SUPERVISOR_INTERVAL,
+        },
+        "recovery": {
+            "median_seconds": round(median, 4),
+            "min_seconds": round(latencies[0], 4),
+            "max_seconds": round(latencies[-1], 4),
+            "restarts": stats["restarts"],
+            "sessions_lost": stats["sessions_lost"],
+        },
+        # The cost the regression gate watches: median kill-to-served latency.
+        "wall_clock_seconds": round(median, 4),
+    }
+    append_bench_record(JSON_PATH, payload)
+
+    lines = [
+        f"workload: {RECOVERY_ROUNDS} shard-kill cycles, {len(rules)} rules "
+        f"(scale {SCALE})",
+        f"pool: {RECOVERY_SHARDS} shards, supervisor interval "
+        f"{RECOVERY_SUPERVISOR_INTERVAL * 1000:.0f} ms",
+        f"recovery latency (kill -> first served event): median {median * 1000:.1f} ms, "
+        f"min {latencies[0] * 1000:.1f} ms, max {latencies[-1] * 1000:.1f} ms",
+        f"restarts: {stats['restarts']}, sessions lost: {stats['sessions_lost']}",
+        f"json: {JSON_PATH.name}",
+    ]
+    write_result("serving_recovery", "\n".join(lines))

@@ -30,9 +30,12 @@ from .core import (
 from .core.errors import (
     ConfigurationError,
     DataFormatError,
+    ExecutionFault,
     MonitoringError,
     PatternError,
     ReproError,
+    ServingTimeout,
+    SessionLost,
     VocabularyError,
 )
 from .datagen import QuestConfig, QuestGenerator, generate_profile
@@ -78,9 +81,12 @@ __all__ = [
     "SequenceDatabase",
     "ConfigurationError",
     "DataFormatError",
+    "ExecutionFault",
     "MonitoringError",
     "PatternError",
     "ReproError",
+    "ServingTimeout",
+    "SessionLost",
     "VocabularyError",
     "QuestConfig",
     "QuestGenerator",

@@ -29,7 +29,9 @@ so repeated ``--append`` invocations re-mine only the touched roots.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 from pathlib import Path
 from typing import List, Optional
 
@@ -637,12 +639,32 @@ def _command_serve(args: argparse.Namespace) -> int:
         file=sys.stderr,
         flush=True,
     )
+    # Drain on SIGTERM/SIGINT: stop accepting, close open sessions so
+    # their reports land in the aggregate output below.  shutdown() must
+    # run off the main thread — calling it from a signal handler while
+    # serve_forever() is on the stack would deadlock.
+    previous = {}
+
+    def _drain_signal(signum: int, frame: object) -> None:  # pragma: no cover - signal path
+        print(f"received {signal.Signals(signum).name}, draining...", file=sys.stderr, flush=True)
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _drain_signal)
+        except ValueError:  # pragma: no cover - non-main thread (embedding)
+            pass
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         pass
     finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
         server.close()
+        drained = pool.drain_sessions()
+        if drained:
+            print(f"drained {drained} open sessions", file=sys.stderr)
         stats = pool.stats()
         report = pool.report()
         pool.close()

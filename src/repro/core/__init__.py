@@ -10,9 +10,12 @@ mining statistics.
 from .errors import (
     ConfigurationError,
     DataFormatError,
+    ExecutionFault,
     MonitoringError,
     PatternError,
     ReproError,
+    ServingTimeout,
+    SessionLost,
     VocabularyError,
 )
 from .blocks import BlockBuilder, InstanceBlock, PositionBlock, PositionBlockBuilder
@@ -46,9 +49,12 @@ from .stats import MiningStats, Timer
 __all__ = [
     "ConfigurationError",
     "DataFormatError",
+    "ExecutionFault",
     "MonitoringError",
     "PatternError",
     "ReproError",
+    "ServingTimeout",
+    "SessionLost",
     "VocabularyError",
     "BlockBuilder",
     "InstanceBlock",

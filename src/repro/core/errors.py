@@ -35,3 +35,34 @@ class PatternError(ReproError):
 
 class MonitoringError(ReproError):
     """Runtime monitoring was asked to check an unsupported specification."""
+
+
+class ExecutionFault(ReproError):
+    """A parallel mining run could not recover from worker failures.
+
+    Raised when crash recovery exhausts its options: a work unit keeps
+    killing the workers that pick it up (poison-unit quarantine — the
+    message names the unit), or every worker process died.  Transient
+    worker deaths below the retry budget are recovered silently and only
+    surface as ``units_retried`` / ``workers_lost`` counters in
+    :class:`~repro.core.stats.MiningStats`.
+    """
+
+
+class ServingTimeout(MonitoringError):
+    """A serving-plane wait expired.
+
+    Raised by :meth:`PushClient.read` (and everything layered on it, such
+    as ``pipeline``) when the server does not reply within the socket
+    timeout, and by :meth:`SessionTicket.wait` when a shard does not close
+    the session within ``timeout`` seconds.
+    """
+
+
+class SessionLost(MonitoringError):
+    """A monitoring session was discarded because its shard crashed.
+
+    The supervisor restarts the shard, but in-memory monitor state for its
+    sessions is gone; the owner is told once via this error (or the
+    ``SESSION_LOST`` wire reply) and may re-admit the session id.
+    """

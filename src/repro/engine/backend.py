@@ -26,15 +26,22 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, List, Optional, Sequence as TypingSequence, Tuple
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, List, Optional, Sequence as TypingSequence, Tuple
 
-from ..core.errors import ConfigurationError
+from ..core.errors import ConfigurationError, ExecutionFault
 from ..core.stats import MiningStats
+from ..testing import faults
 from .runner import ShardRunner
 from .sharding import Shard, ShardOutcome, merge_outcomes, plan_shards
 
 #: Shards created per worker so stragglers can be rebalanced by the pool.
 OVERSUBSCRIPTION = 4
+
+#: How many times a broken pool (a worker process died mid-shard) is
+#: rebuilt and the unfinished shards resubmitted before the run fails
+#: with a diagnostic naming the shards that never survived a round.
+DEFAULT_POOL_RESTARTS = 3
 
 # Per-worker-process runner installed by the pool initializer.  Module-level
 # state is required here: only module-level functions pickle cleanly as pool
@@ -51,6 +58,8 @@ def _initialize_worker(runner: ShardRunner) -> None:
 
 def _execute_shard(shard: Shard) -> ShardOutcome:
     assert _WORKER_RUNNER is not None, "worker used before initialization"
+    if faults.ACTIVE is not None:
+        faults.trigger("engine.shard", key=str(shard.index))
     return _WORKER_RUNNER.run_shard(shard)
 
 
@@ -122,12 +131,25 @@ class SerialBackend(ExecutionBackend):
 
 
 class ProcessPoolBackend(ExecutionBackend):
-    """Fan shards out to a pool of worker processes."""
+    """Fan shards out to a pool of worker processes.
+
+    Worker-process death (OOM kill, segfault) breaks a
+    :class:`ProcessPoolExecutor` wholesale; this backend recovers by
+    keeping every completed shard outcome, rebuilding the pool and
+    resubmitting only the unfinished shards.  Shards are replayable by
+    construction (pure functions of the shipped runner), so the merged
+    result is unchanged by recovery.  A shard that never survives
+    ``pool_restarts`` consecutive rebuilds fails the run with an
+    :class:`~repro.core.errors.ExecutionFault` naming it.
+    """
 
     name = "process"
 
     def __init__(
-        self, workers: Optional[int] = None, oversubscription: int = OVERSUBSCRIPTION
+        self,
+        workers: Optional[int] = None,
+        oversubscription: int = OVERSUBSCRIPTION,
+        pool_restarts: int = DEFAULT_POOL_RESTARTS,
     ) -> None:
         if workers is not None and workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers!r}")
@@ -135,11 +157,24 @@ class ProcessPoolBackend(ExecutionBackend):
             raise ConfigurationError(
                 f"oversubscription must be >= 1, got {oversubscription!r}"
             )
+        if pool_restarts < 0:
+            raise ConfigurationError(
+                f"pool_restarts must be >= 0, got {pool_restarts!r}"
+            )
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.oversubscription = oversubscription
+        self.pool_restarts = pool_restarts
+        self._recovery_counters: Dict[str, int] = {}
 
     def shard_count(self, num_roots: int) -> int:
         return max(1, min(num_roots, self.workers * self.oversubscription))
+
+    def execute(self, runner: ShardRunner) -> Tuple[List[Any], MiningStats]:
+        self._recovery_counters = {}
+        records, stats = super().execute(runner)
+        for name, amount in self._recovery_counters.items():
+            stats.bump(name, amount)
+        return records, stats
 
     def map_shards(
         self, runner: ShardRunner, shards: TypingSequence[Shard]
@@ -147,12 +182,59 @@ class ProcessPoolBackend(ExecutionBackend):
         if self.workers <= 1 or len(shards) <= 1:
             # Nothing to parallelise; avoid pool start-up entirely.
             return SerialBackend(max_shards=len(shards) or 1).map_shards(runner, shards)
+        outcomes: Dict[int, ShardOutcome] = {}
+        remaining: Dict[int, Shard] = {shard.index: shard for shard in shards}
+        broken_rounds = 0
+        while remaining:
+            if not self._run_round(runner, remaining, outcomes):
+                continue  # everything submitted this round completed
+            broken_rounds += 1
+            self._bump("pool_restarts")
+            if broken_rounds > self.pool_restarts:
+                survivors = ", ".join(
+                    f"shard {index} (roots {list(remaining[index].roots)})"
+                    for index in sorted(remaining)
+                )
+                raise ExecutionFault(
+                    "process pool broke "
+                    f"{broken_rounds} times without completing: {survivors}; "
+                    "quarantining as poison shards"
+                )
+            self._bump("shards_retried", len(remaining))
+        return [outcomes[shard.index] for shard in shards]
+
+    def _run_round(
+        self,
+        runner: ShardRunner,
+        remaining: Dict[int, Shard],
+        outcomes: Dict[int, ShardOutcome],
+    ) -> bool:
+        """Run one pool over the remaining shards; True if the pool broke."""
+        broken = False
         with ProcessPoolExecutor(
-            max_workers=min(self.workers, len(shards)),
+            max_workers=min(self.workers, len(remaining)),
             initializer=_initialize_worker,
             initargs=(runner,),
         ) as pool:
-            return list(pool.map(_execute_shard, shards))
+            futures = {
+                index: pool.submit(_execute_shard, shard)
+                for index, shard in sorted(remaining.items())
+            }
+            for index, future in futures.items():
+                try:
+                    outcome = future.result()
+                except BrokenProcessPool:
+                    # A worker died; this future (and possibly others) was
+                    # lost with it.  Harvest whatever did finish and let
+                    # the caller rebuild the pool for the rest.
+                    broken = True
+                    continue
+                outcomes[index] = outcome
+                del remaining[index]
+        return broken
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        self._recovery_counters[name] = self._recovery_counters.get(name, 0) + amount
 
     def describe(self) -> str:
         if self.workers <= 1:

@@ -182,6 +182,13 @@ class ShardRunner:
         ``shipped_bytes`` accounting mirrors :meth:`run_shard`: the
         instance payload packaged into the outcome is counted identically
         on every backend so the number stays comparable.
+
+        Crash-recovery contract: a unit execution must be a pure function
+        of ``(self, unit)`` — all state is re-derived by replaying along
+        ``unit.path``, and nothing outside the returned outcome may be
+        mutated.  The coordinator relies on this to re-execute a dead
+        worker's unit on a survivor (discarding the dead attempt's
+        split-off descendants) without changing the merged output.
         """
         context = self._ensure_context()
         stats = MiningStats()

@@ -53,6 +53,12 @@ class WorkUnit(NamedTuple):
     cost_hint: int = 0
 
 
+def describe_unit(unit: WorkUnit) -> str:
+    """Human-readable identity of a unit for diagnostics (poison quarantine)."""
+    path = "/".join(str(event) for event in unit.path)
+    return f"{unit.kind} unit at path [{path}] (root {unit.root}, cost hint {unit.cost_hint})"
+
+
 class UnitOutcome(NamedTuple):
     """Everything a worker reports back for one executed work unit.
 

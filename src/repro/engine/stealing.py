@@ -32,6 +32,20 @@ the outstanding-unit counter is exact without any cross-queue ordering
 assumptions.  The shared ``queued`` counter (incremented at submit time by
 the splitting worker itself) is only a scheduling hint for the hunger
 heuristic and never affects correctness.
+
+Crash recovery: the coordinator dispatches exactly one unit at a time to
+each worker over a per-worker queue, so when a worker process dies it
+knows precisely which unit went down with it.  Because units are
+replayable by construction, the lost unit is simply re-executed — the
+coordinator *orphans* the dead attempt's descendants (units it had split
+off, transitively; their outcomes are discarded on arrival) and replays
+the unit fresh, so the surviving attempt tree tiles the search space
+exactly once and the merged output stays byte-identical to the serial
+reference.  A bounded retry budget turns a unit that keeps killing its
+workers into an :class:`~repro.core.errors.ExecutionFault` naming the
+unit (poison quarantine); an optional per-unit deadline terminates
+stragglers and replays them with forced eager splitting so the subtree
+spreads across the pool.
 """
 
 from __future__ import annotations
@@ -39,14 +53,16 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_module
+import time
 import traceback
 from collections import deque
-from typing import Any, Callable, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
 
-from ..core.errors import ConfigurationError
+from ..core.errors import ConfigurationError, ExecutionFault
 from ..core.stats import MiningStats
+from ..testing import faults
 from .backend import ExecutionBackend
-from .sharding import UnitOutcome, WorkUnit
+from .sharding import UnitOutcome, WorkUnit, describe_unit
 
 #: Maximum node depth (path length) at which frontier nodes may still be
 #: split off as stealable units.  Thieves replay projections along the
@@ -239,13 +255,32 @@ def _split_frontier(
 class _Spawn(NamedTuple):
     """A worker's announcement that it split off new units."""
 
+    worker_index: int
     units: Tuple[WorkUnit, ...]
 
 
-class _WorkerFailure(NamedTuple):
-    """A worker's report that it died; carries the formatted traceback."""
+class _Report(NamedTuple):
+    """A worker's completion report for its current unit."""
 
+    worker_index: int
+    outcome: UnitOutcome
+
+
+class _WorkerFailure(NamedTuple):
+    """A worker's report that it hit an exception; carries the traceback."""
+
+    worker_index: int
     message: str
+
+
+#: How long the coordinator sleeps in ``results.get`` before polling
+#: worker liveness and unit deadlines.  Bounds crash-detection latency.
+COORDINATOR_POLL_INTERVAL = 0.1
+
+#: Additional attempts a unit gets after killing a worker before it is
+#: quarantined as poison (so a unit may take down ``1 + retries`` workers
+#: in a row before the mine fails with a diagnostic naming it).
+DEFAULT_UNIT_RETRIES = 2
 
 
 def _worker_main(
@@ -253,7 +288,6 @@ def _worker_main(
     tasks: Any,
     results: Any,
     queued: Any,
-    busy: Any,
     worker_index: int,
     low_watermark: int,
     split_depth: int,
@@ -261,23 +295,19 @@ def _worker_main(
     offload_min_cost: int,
     eager: bool,
 ) -> None:
-    """Worker process loop: pull units, mine, announce splits, report.
+    """Worker process loop: receive one unit at a time, mine, report.
 
-    ``busy[worker_index]`` is 1 exactly while this worker holds a unit it
-    has not yet reported — the coordinator's lost-unit detector: a worker
-    that dies abnormally (OOM kill, SIGKILL) with its busy flag set took
-    a unit down with it, so the run must abort instead of waiting forever.
-    A hard kill landing in the few instructions between ``tasks.get()``
-    and setting the flag (undetected loss) or between reporting and
-    clearing it (spurious abort) is not defended against — the flag
-    shrinks the vulnerable window from the whole unit execution to those
-    two instruction gaps, and the flag updates are ordered so the wide
-    failure mode is the recoverable one (abort, not hang).
+    Dispatch is coordinator-mediated: this worker only ever holds the one
+    unit the coordinator sent down its private queue, so the coordinator
+    always knows exactly which unit a dead worker took with it — there is
+    no self-serve window in which a loss would be ambiguous.  Assignments
+    carry a ``force_eager`` flag so a replayed straggler can be told to
+    split aggressively.
     """
     try:
         runner.setup()
     except BaseException:
-        results.put(_WorkerFailure(traceback.format_exc()))
+        results.put(_WorkerFailure(worker_index, traceback.format_exc()))
         return
 
     def hungry() -> bool:
@@ -289,106 +319,304 @@ def _worker_main(
         # splitting again on the next check.
         with queued.get_lock():
             queued.value += len(units)
-        results.put(_Spawn(tuple(units)))
+        results.put(_Spawn(worker_index, tuple(units)))
 
     while True:
-        unit = tasks.get()
-        if unit is None:
+        assignment = tasks.get()
+        if assignment is None:
             return
-        busy[worker_index] = 1
-        with queued.get_lock():
-            queued.value -= 1
+        unit, force_eager = assignment
         splitter = StealSplitter(
-            submit, hungry, split_depth, check_interval, offload_min_cost, eager
+            submit,
+            hungry,
+            split_depth,
+            check_interval,
+            offload_min_cost,
+            eager or force_eager,
         )
         try:
+            if faults.ACTIVE is not None:
+                # Inside the try: an injected ``raise`` must take the same
+                # path as a real exception in ``run_unit`` (worker-failure
+                # report), while ``kill`` never unwinds anyway.
+                faults.trigger("engine.unit", key=f"{unit.kind}:{unit.root}")
             outcome = runner.run_unit(unit, splitter)
         except BaseException:
-            results.put(_WorkerFailure(traceback.format_exc()))
+            results.put(_WorkerFailure(worker_index, traceback.format_exc()))
             return
-        results.put(outcome)
-        busy[worker_index] = 0
+        results.put(_Report(worker_index, outcome))
 
 
-def _run_units_with_processes(
-    runner: Any, units: List[WorkUnit], backend: "WorkStealingBackend"
-) -> List[UnitOutcome]:
-    """Execute units on a pool of stealing workers; collect all outcomes."""
-    ctx = multiprocessing.get_context()
-    tasks = ctx.Queue()
-    results = ctx.Queue()
-    queued = ctx.Value("i", len(units))
-    busy = ctx.Array("i", backend.workers)
-    for unit in units:
-        tasks.put(unit)
-    workers = [
-        ctx.Process(
+class _Task:
+    """One attempt at executing a work unit, identified by ``task_id``.
+
+    A replay is a *new* task (fresh id) for the same unit with ``retries``
+    incremented; ``children`` lineage lives in the coordinator so a dead
+    attempt's split-off descendants can be orphaned transitively.
+    """
+
+    __slots__ = ("task_id", "unit", "retries", "eager")
+
+    def __init__(self, task_id: int, unit: WorkUnit, retries: int, eager: bool) -> None:
+        self.task_id = task_id
+        self.unit = unit
+        self.retries = retries
+        self.eager = eager
+
+
+class _Coordinator:
+    """Drives a pool of stealing workers with crash recovery.
+
+    Invariant: the set of *surviving* task outcomes tiles the search space
+    exactly once.  Every split registers the child under its parent
+    attempt; when an attempt dies with its worker, the attempt and its
+    descendants are orphaned (pending ones dequeued, in-flight or already
+    completed ones discarded on sight) and the unit is replayed as a fresh
+    attempt — which re-splits as it sees fit.  Replays are bounded by the
+    retry budget; exhausting it raises :class:`ExecutionFault` naming the
+    poison unit.
+    """
+
+    def __init__(self, runner: Any, units: List[WorkUnit], backend: "WorkStealingBackend",
+                 stats: MiningStats) -> None:
+        self.runner = runner
+        self.backend = backend
+        self.stats = stats
+        self.ctx = multiprocessing.get_context()
+        self.results = self.ctx.Queue()
+        self.queued = self.ctx.Value("i", len(units))
+        self.task_queues = [self.ctx.Queue() for _ in range(backend.workers)]
+        self.workers: Dict[int, Any] = {}
+        self._next_task_id = 0
+        self.pending: deque = deque(self._new_task(unit, 0, False) for unit in units)
+        self.in_flight: Dict[int, _Task] = {}
+        self.started_at: Dict[int, float] = {}
+        self.children: Dict[int, List[int]] = {}
+        self.orphaned: Set[int] = set()
+        self.outcomes: Dict[int, UnitOutcome] = {}
+        self.live: Set[int] = set()
+        self.idle: Set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Worker lifecycle
+    # ------------------------------------------------------------------ #
+    def _spawn_worker(self, worker_index: int) -> None:
+        worker = self.ctx.Process(
             target=_worker_main,
             args=(
-                runner,
-                tasks,
-                results,
-                queued,
-                busy,
+                self.runner,
+                self.task_queues[worker_index],
+                self.results,
+                self.queued,
                 worker_index,
-                backend.workers,
-                backend.split_depth,
-                backend.check_interval,
-                backend.offload_min_cost,
-                backend.eager_split,
+                self.backend.workers,
+                self.backend.split_depth,
+                self.backend.check_interval,
+                self.backend.offload_min_cost,
+                self.backend.eager_split,
             ),
             daemon=True,
         )
-        for worker_index in range(backend.workers)
-    ]
-    for worker in workers:
         worker.start()
-    outstanding = len(units)
-    outcomes: List[UnitOutcome] = []
-    try:
-        while outstanding:
+        self.workers[worker_index] = worker
+        self.live.add(worker_index)
+        self.idle.add(worker_index)
+
+    def _new_task(self, unit: WorkUnit, retries: int, eager: bool) -> _Task:
+        task = _Task(self._next_task_id, unit, retries, eager)
+        self._next_task_id += 1
+        return task
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+    def _assign(self) -> None:
+        while self.pending and self.idle:
+            worker_index = min(self.idle)
+            self.idle.discard(worker_index)
+            task = self.pending.popleft()
+            with self.queued.get_lock():
+                self.queued.value -= 1
+            self.in_flight[worker_index] = task
+            self.started_at[worker_index] = time.monotonic()
+            self.task_queues[worker_index].put((task.unit, task.eager))
+
+    def _handle(self, message: Any) -> None:
+        if isinstance(message, _WorkerFailure):
+            # A deterministic exception inside a unit would fail every
+            # replay identically — abort with the worker's traceback
+            # instead of burning the retry budget on it.
+            raise ExecutionFault(
+                f"work-stealing worker {message.worker_index} failed:\n{message.message}"
+            )
+        if isinstance(message, _Spawn):
+            parent = self.in_flight.get(message.worker_index)
+            if parent is None or parent.task_id in self.orphaned:
+                # Late announcement from an attempt that was already
+                # declared lost (or terminated): its subtree will be (or
+                # was) re-covered by the replay, so the split-off units
+                # must not run.  Roll back the worker-side hint bump.
+                with self.queued.get_lock():
+                    self.queued.value -= len(message.units)
+                return
+            siblings = self.children.setdefault(parent.task_id, [])
+            for unit in message.units:
+                task = self._new_task(unit, 0, parent.eager)
+                siblings.append(task.task_id)
+                self.pending.append(task)
+            return
+        if isinstance(message, _Report):
+            task = self.in_flight.pop(message.worker_index, None)
+            self.started_at.pop(message.worker_index, None)
+            if message.worker_index in self.live:
+                self.idle.add(message.worker_index)
+            if task is None or task.task_id in self.orphaned:
+                return  # outcome of an orphaned attempt: discard
+            self.outcomes[task.task_id] = message.outcome
+            return
+        raise ExecutionFault(f"unexpected coordinator message {message!r}")
+
+    def _drain(self) -> None:
+        while True:
             try:
-                message = results.get(timeout=1.0)
+                message = self.results.get_nowait()
             except queue_module.Empty:
-                if not any(worker.is_alive() for worker in workers):
-                    raise RuntimeError(
-                        "work-stealing workers exited with units outstanding"
-                    ) from None
-                # A worker that died abnormally while holding a unit (busy
-                # flag still set, no failure report) lost that unit for
-                # good — abort instead of waiting on it forever.  Healthy
-                # deaths clear the flag between units.
-                lost = [
-                    index
-                    for index, worker in enumerate(workers)
-                    if not worker.is_alive() and busy[index]
-                ]
-                if lost:
-                    raise RuntimeError(
-                        f"work-stealing worker(s) {lost} died while holding a "
-                        "unit (killed?); aborting the run"
-                    ) from None
+                return
+            self._handle(message)
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+    def _orphan_subtree(self, task_id: int) -> None:
+        victims = {task_id}
+        stack = [task_id]
+        while stack:
+            for child in self.children.pop(stack.pop(), ()):
+                if child not in victims:
+                    victims.add(child)
+                    stack.append(child)
+        kept: deque = deque()
+        removed = 0
+        for task in self.pending:
+            if task.task_id in victims:
+                removed += 1
+            else:
+                kept.append(task)
+        self.pending = kept
+        if removed:
+            with self.queued.get_lock():
+                self.queued.value -= removed
+        for victim in victims:
+            self.outcomes.pop(victim, None)
+        self.orphaned |= victims
+
+    def _replay(self, task: _Task, reason: str, force_eager: bool = False) -> None:
+        retries = task.retries + 1
+        if retries > self.backend.unit_retries:
+            raise ExecutionFault(
+                f"poison work unit quarantined: {describe_unit(task.unit)} "
+                f"took down {retries} worker(s) in a row "
+                f"(last failure: {reason}; retry budget {self.backend.unit_retries})"
+            )
+        self._orphan_subtree(task.task_id)
+        replay = self._new_task(task.unit, retries, task.eager or force_eager)
+        self.pending.appendleft(replay)
+        with self.queued.get_lock():
+            self.queued.value += 1
+        self.stats.bump("units_retried")
+
+    def _check_dead_workers(self) -> None:
+        # Drain first: a worker that finished its unit and died cleanly
+        # (or whose death raced a flushed report) must not trigger a
+        # replay — its outcome is already in the pipe.
+        self._drain()
+        for worker_index in sorted(self.live):
+            if self.workers[worker_index].is_alive():
                 continue
-            if isinstance(message, _WorkerFailure):
-                raise RuntimeError(
-                    f"work-stealing worker failed:\n{message.message}"
-                )
-            if isinstance(message, _Spawn):
-                outstanding += len(message.units)
-                for unit in message.units:
-                    tasks.put(unit)
+            self.live.discard(worker_index)
+            self.idle.discard(worker_index)
+            task = self.in_flight.pop(worker_index, None)
+            self.started_at.pop(worker_index, None)
+            if task is None:
+                continue  # died between units; nothing was lost
+            self.stats.bump("workers_lost")
+            if task.task_id in self.orphaned:
+                continue  # an orphaned attempt died; the replay already covers it
+            self._replay(task, reason=f"worker {worker_index} died while executing it")
+        if not self.live and (self.pending or self.in_flight):
+            raise ExecutionFault(
+                "all work-stealing workers died with units outstanding; "
+                "aborting the run"
+            )
+
+    def _check_deadlines(self) -> None:
+        deadline = self.backend.unit_deadline
+        if deadline is None:
+            return
+        self._drain()
+        now = time.monotonic()
+        for worker_index, started in list(self.started_at.items()):
+            if now - started <= deadline:
                 continue
-            outstanding -= 1
-            outcomes.append(message)
-        for _ in workers:
-            tasks.put(None)
-        for worker in workers:
-            worker.join(timeout=10.0)
-    finally:
-        for worker in workers:
+            task = self.in_flight.pop(worker_index, None)
+            self.started_at.pop(worker_index, None)
+            if task is None:
+                continue
+            # Terminate the straggler and bring a replacement up at the
+            # same slot so the pool keeps its width; the unit replays with
+            # forced eager splitting so its subtree spreads across the
+            # pool instead of stalling one worker again.
+            worker = self.workers[worker_index]
+            worker.terminate()
+            worker.join(timeout=5.0)
             if worker.is_alive():
-                worker.terminate()
-    return outcomes
+                worker.kill()
+                worker.join(timeout=5.0)
+            self.live.discard(worker_index)
+            self.idle.discard(worker_index)
+            self.stats.bump("units_deadline_split")
+            if task.task_id not in self.orphaned:
+                self._replay(
+                    task,
+                    reason=f"exceeded the {deadline:g}s unit deadline",
+                    force_eager=True,
+                )
+            self._spawn_worker(worker_index)
+
+    # ------------------------------------------------------------------ #
+    # Run loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> List[UnitOutcome]:
+        for worker_index in range(self.backend.workers):
+            self._spawn_worker(worker_index)
+        try:
+            while self.pending or self.in_flight:
+                self._assign()
+                try:
+                    message = self.results.get(timeout=COORDINATOR_POLL_INTERVAL)
+                except queue_module.Empty:
+                    self._check_dead_workers()
+                    self._check_deadlines()
+                    continue
+                self._handle(message)
+            for worker_index in sorted(self.live):
+                self.task_queues[worker_index].put(None)
+            for worker_index in sorted(self.live):
+                self.workers[worker_index].join(timeout=10.0)
+        finally:
+            for worker in self.workers.values():
+                if worker.is_alive():
+                    worker.terminate()
+        # task_id order is arbitrary but fixed; resolve_units orders
+        # records by their own search-tree keys anyway.
+        return [self.outcomes[task_id] for task_id in sorted(self.outcomes)]
+
+
+def _run_units_with_processes(
+    runner: Any, units: List[WorkUnit], backend: "WorkStealingBackend", stats: MiningStats
+) -> List[UnitOutcome]:
+    """Execute units on a pool of stealing workers; collect all outcomes."""
+    return _Coordinator(runner, units, backend, stats).run()
 
 
 def _run_units_in_process(
@@ -434,6 +662,13 @@ class WorkStealingBackend(ExecutionBackend):
     so deeper splits are more expensive to steal); ``check_interval``
     controls how often busy workers look at the queue; ``eager_split``
     forces every split decision to yes (testing / stress mode).
+
+    ``unit_retries`` is the crash-recovery budget: how many times a unit
+    whose worker died is replayed before the run fails with a poison-unit
+    diagnostic.  ``unit_deadline`` (seconds, default off) terminates any
+    worker that holds one unit longer than the deadline and replays the
+    unit with forced eager splitting — converting stragglers into
+    split-and-retry.
     """
 
     name = "stealing"
@@ -445,6 +680,8 @@ class WorkStealingBackend(ExecutionBackend):
         check_interval: int = DEFAULT_CHECK_INTERVAL,
         offload_min_cost: int = DEFAULT_OFFLOAD_MIN_COST,
         eager_split: bool = False,
+        unit_retries: int = DEFAULT_UNIT_RETRIES,
+        unit_deadline: Optional[float] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers!r}")
@@ -454,11 +691,19 @@ class WorkStealingBackend(ExecutionBackend):
             raise ConfigurationError(
                 f"check_interval must be >= 1, got {check_interval!r}"
             )
+        if unit_retries < 0:
+            raise ConfigurationError(f"unit_retries must be >= 0, got {unit_retries!r}")
+        if unit_deadline is not None and unit_deadline <= 0:
+            raise ConfigurationError(
+                f"unit_deadline must be positive, got {unit_deadline!r}"
+            )
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.split_depth = split_depth
         self.check_interval = check_interval
         self.offload_min_cost = offload_min_cost
         self.eager_split = eager_split
+        self.unit_retries = unit_retries
+        self.unit_deadline = unit_deadline
 
     def describe(self) -> str:
         suffix = ", eager" if self.eager_split else ""
@@ -473,7 +718,7 @@ class WorkStealingBackend(ExecutionBackend):
         if self.workers <= 1:
             outcomes = _run_units_in_process(runner, units, self)
         else:
-            outcomes = _run_units_with_processes(runner, units, self)
+            outcomes = _run_units_with_processes(runner, units, self, stats)
         for outcome in outcomes:
             stats.merge_counters(outcome.stats)
         records = runner.resolve_units(outcomes)

@@ -35,6 +35,7 @@ from typing import Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tup
 from ..core.errors import DataFormatError
 from ..core.events import EventId, EventVocabulary
 from ..core.sequence import SequenceDatabase
+from ..testing import faults
 from .formats import EncodedTrace, TraceRecord, stream_traces
 
 PathLike = Union[str, Path]
@@ -222,6 +223,11 @@ class TraceStore:
         self, traces: Iterable[Union[TraceRecord, EncodedTrace, Sequence]]
     ) -> BatchInfo:
         """Stream one batch to the data file; the caller saves the manifest."""
+        if faults.ACTIVE is not None:
+            # Chaos hook (tests/faults/): a full disk at the worst moment —
+            # before any bytes land, so the batch rollback path is what the
+            # injected ENOSPC exercises.
+            faults.trigger("store.append")
         digest = hashlib.sha256()
         traces_count = 0
         events_count = 0

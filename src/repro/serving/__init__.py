@@ -35,13 +35,14 @@ dataflow.
 
 from .compile import CompiledRuleSet, compile_rules
 from .daemon import WatchCycle, WatchDaemon
-from .pool import ACCEPTED, BUSY, MonitorPool, SessionTicket
+from .pool import ACCEPTED, BUSY, SESSION_LOST, MonitorPool, SessionTicket
 from .server import EventPushServer, ProtocolError, PushClient, encode_frame, read_frame
 from .stream_monitor import StreamingMonitor, monitor_stream
 
 __all__ = [
     "ACCEPTED",
     "BUSY",
+    "SESSION_LOST",
     "CompiledRuleSet",
     "compile_rules",
     "EventPushServer",

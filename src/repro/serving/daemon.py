@@ -175,6 +175,14 @@ class WatchDaemon:
         self.monitoring = MonitoringReport()
         self.cycles_run = 0
         self.swaps = 0
+        # Cycle-failure bookkeeping (run_forever's backoff; see
+        # docs/robustness.md): run_once still *raises* so embedders keep
+        # exact errors, but the loop degrades to exponential backoff and
+        # reports the failure in watch_state.json instead of dying.
+        self.cycle_failures = 0
+        self.consecutive_failures = 0
+        self.last_error: Optional[str] = None
+        self.current_backoff = 0.0
         self._served_rules: Optional[Tuple[RecurrentRule, ...]] = None
         self._ingested: set = set()
         self._failed: Dict[Path, _StatKey] = {}
@@ -243,6 +251,16 @@ class WatchDaemon:
             # so no per-file stat is kept.
             "ingested": sorted(str(path) for path in self._ingested),
         }
+        if self.last_error is not None:
+            # Failure telemetry for operators tailing the state file: what
+            # broke the last cycle(s) and how far the backoff has climbed.
+            # Extra keys on version 1 — old readers ignore them.
+            payload["error"] = {
+                "message": self.last_error,
+                "consecutive_failures": self.consecutive_failures,
+                "total_failures": self.cycle_failures,
+                "next_backoff_seconds": self.current_backoff,
+            }
         temporary = self._state_path.with_suffix(".json.tmp")
         temporary.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
         os.replace(temporary, self._state_path)
@@ -404,17 +422,55 @@ class WatchDaemon:
         self,
         poll_interval: float = 2.0,
         max_cycles: Optional[int] = None,
+        max_backoff: float = 60.0,
     ) -> int:
         """Poll until ``max_cycles`` (``None`` = forever) or KeyboardInterrupt.
 
-        Returns the number of cycles run.
+        A cycle that raises does not kill the loop: the failure is counted,
+        written into ``watch_state.json`` (an ``error`` block with the
+        message and the backoff state) and the next cycle is delayed by an
+        exponential backoff — ``poll_interval * 2**consecutive_failures``,
+        capped at ``max_backoff`` — so a persistently broken store or
+        input cannot spin the daemon hot.  The first successful cycle
+        clears the error block and returns to the normal poll interval.
+        Failed cycles count toward ``max_cycles`` so a bounded run always
+        terminates.
+
+        Returns the number of cycles that ran successfully.
         """
         try:
-            while max_cycles is None or self.cycles_run < max_cycles:
-                self.run_once()
-                if max_cycles is not None and self.cycles_run >= max_cycles:
+            while max_cycles is None or self.cycles_run + self.cycle_failures < max_cycles:
+                try:
+                    self.run_once()
+                except KeyboardInterrupt:
+                    raise
+                except Exception as error:
+                    self.cycle_failures += 1
+                    self.consecutive_failures += 1
+                    self.last_error = f"{type(error).__name__}: {error}"
+                    delay = min(
+                        poll_interval * (2.0 ** self.consecutive_failures), max_backoff
+                    )
+                    self.current_backoff = delay
+                    self._report_cycle_failure()
+                else:
+                    delay = poll_interval
+                    if self.consecutive_failures:
+                        # Recovered: clear the error block for operators.
+                        self.consecutive_failures = 0
+                        self.last_error = None
+                        self.current_backoff = 0.0
+                        self._report_cycle_failure()
+                if max_cycles is not None and self.cycles_run + self.cycle_failures >= max_cycles:
                     break
-                time.sleep(poll_interval)
+                time.sleep(delay)
         except KeyboardInterrupt:  # pragma: no cover - interactive exit
             pass
         return self.cycles_run
+
+    def _report_cycle_failure(self) -> None:
+        """Persist the error block; best-effort (the disk may be the problem)."""
+        try:
+            self._save_watch_state()
+        except OSError:
+            pass

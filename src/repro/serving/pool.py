@@ -49,8 +49,9 @@ import threading
 import time
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-from ..core.errors import MonitoringError
+from ..core.errors import MonitoringError, ServingTimeout, SessionLost
 from ..core.events import EventLabel
+from ..testing import faults
 from ..verification.violations import MonitoringReport
 from .compile import CompiledRuleSet, RuleSource, compile_rules
 from .stream_monitor import StreamingMonitor
@@ -59,6 +60,9 @@ from .stream_monitor import StreamingMonitor
 ACCEPTED = "ok"
 #: The session's shard queue is full: nothing was queued, retry later.
 BUSY = "busy"
+#: The session was discarded because its shard crashed; the id is free to
+#: be re-admitted.  Returned exactly once per lost session.
+SESSION_LOST = "lost"
 
 #: Virtual ring points per shard.  More replicas smooth the session
 #: distribution; 64 keeps the spread within a few percent of uniform while
@@ -66,6 +70,14 @@ BUSY = "busy"
 DEFAULT_RING_REPLICAS = 64
 #: Default bound on each shard's pending-item queue.
 DEFAULT_QUEUE_DEPTH = 1024
+#: How often the supervisor thread polls shard-worker liveness.  Bounds
+#: the window between a shard crash and its sessions answering
+#: ``SESSION_LOST`` (and the shard serving again).
+DEFAULT_SUPERVISOR_INTERVAL = 0.05
+#: Bound on remembered lost-session markers; the oldest are evicted first
+#: (a client that waits that long simply sees "unknown session", which it
+#: handles the same way: re-admit).
+MAX_LOST_MARKERS = 4096
 
 
 def _ring_point(key: str) -> int:
@@ -108,9 +120,19 @@ class SessionTicket:
         return self._done.is_set()
 
     def wait(self, timeout: Optional[float] = None) -> MonitoringReport:
-        """Block until the session closed; return its final report."""
+        """Block until the session closed; return its final report.
+
+        Raises :class:`~repro.core.errors.ServingTimeout` when the shard
+        does not process the close within ``timeout`` seconds (the session
+        close stays pending — the caller may wait again), and
+        :class:`~repro.core.errors.SessionLost` when the shard crashed
+        with this close still queued.
+        """
         if not self._done.wait(timeout):
-            raise MonitoringError("timed out waiting for the session to close")
+            raise ServingTimeout(
+                f"timed out waiting for the session to close"
+                f"{f' (after {timeout:g}s)' if timeout is not None else ''}"
+            )
         if self._error is not None:
             raise self._error
         assert self._report is not None
@@ -120,7 +142,15 @@ class SessionTicket:
 class _Session:
     """One live logical session: its monitor, admission index and generation."""
 
-    __slots__ = ("session_id", "index", "generation", "monitor", "shard", "events_fed")
+    __slots__ = (
+        "session_id",
+        "index",
+        "generation",
+        "monitor",
+        "shard",
+        "events_fed",
+        "last_seq",
+    )
 
     def __init__(
         self,
@@ -136,6 +166,11 @@ class _Session:
         self.monitor = monitor
         self.shard = shard
         self.events_fed = 0
+        # Highest client-supplied batch sequence number accepted, or None
+        # when the producer does not number its batches.  Lets a client
+        # whose reply was lost in a connection drop re-send the batch
+        # without double-feeding (idempotent retry).
+        self.last_seq: Optional[int] = None
 
 
 class _Shard:
@@ -150,6 +185,9 @@ class _Shard:
         self.events_processed = 0
         self.sessions_closed = 0
         self.errors = 0
+        self.restarts = 0
+        self.last_error: Optional[str] = None
+        self.stopping = False
         # The pause gate: cleared = the worker stalls *after* dequeuing at
         # most one item, so a paused shard's queue genuinely fills up.
         # Operational drains and the backpressure tests both use it.
@@ -171,6 +209,8 @@ class _Shard:
             if kind == "stop":
                 return
             try:
+                if faults.ACTIVE is not None:
+                    faults.trigger("pool.shard", key=str(self.index))
                 if kind == "events":
                     _, session, events = item
                     monitor = session.monitor
@@ -188,10 +228,22 @@ class _Shard:
                         self.closed.append((session.index, report))
                         self.sessions_closed += 1
                     ticket._resolve(report)
-            except BaseException as error:  # pragma: no cover - defensive
+            except BaseException as error:
+                # The shard cannot tell how far the item got, so the
+                # monitor state behind it is no longer trustworthy.  Die
+                # loudly and let the pool supervisor restart the shard and
+                # fail its sessions over to SESSION_LOST, instead of
+                # limping on with silently wrong matching state.
                 self.errors += 1
+                self.last_error = f"{type(error).__name__}: {error}"
                 if kind == "end":
-                    item[2]._fail(error)
+                    item[2]._fail(
+                        SessionLost(
+                            "the session's shard crashed while closing it: "
+                            f"{self.last_error}"
+                        )
+                    )
+                return
 
     # ------------------------------------------------------------------ #
     # Control
@@ -203,12 +255,23 @@ class _Shard:
     def resume(self) -> None:
         self._gate.set()
 
+    def restart(self) -> None:
+        """Bring a fresh worker thread up after a crash (supervisor only)."""
+        self.restarts += 1
+        self.thread = threading.Thread(
+            target=self._worker, name=f"monitor-shard-{self.index}", daemon=True
+        )
+        self.thread.start()
+
     def stop(self) -> None:
+        self.stopping = True
         self.resume()
+        if not self.thread.is_alive():
+            return  # crashed and not (yet) restarted; nothing to stop
         self.queue.put(("stop",))
         self.thread.join(timeout=10.0)
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, object]:
         with self.lock:
             closed = self.sessions_closed
         return {
@@ -217,6 +280,7 @@ class _Shard:
             "events_processed": self.events_processed,
             "sessions_closed": closed,
             "errors": self.errors,
+            "restarts": self.restarts,
         }
 
 
@@ -256,11 +320,14 @@ class MonitorPool:
         shards: int = 4,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         ring_replicas: int = DEFAULT_RING_REPLICAS,
+        supervisor_interval: float = DEFAULT_SUPERVISOR_INTERVAL,
     ) -> None:
         if shards < 1:
             raise MonitoringError("a monitor pool needs at least one shard")
         if queue_depth < 1:
             raise MonitoringError("queue_depth must be positive")
+        if supervisor_interval <= 0:
+            raise MonitoringError("supervisor_interval must be positive")
         self.queue_depth = queue_depth
         self._compiled = (
             rules if isinstance(rules, CompiledRuleSet) else compile_rules(rules)
@@ -273,6 +340,16 @@ class MonitorPool:
         self._sessions_opened = 0
         self._busy_rejections = 0
         self._closed = False
+        # Failure bookkeeping: session ids whose shard crashed, mapped to
+        # the human-readable reason.  Consumed (answered once) by the next
+        # feed / end under that id.
+        self._lost: Dict[str, str] = {}
+        self._sessions_lost = 0
+        self._supervisor_interval = supervisor_interval
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="monitor-pool-supervisor", daemon=True
+        )
+        self._supervisor.start()
         # Consistent-hash ring: shard ownership moves minimally when the
         # shard count changes (the property multi-host sharding needs).
         ring: List[Tuple[int, int]] = []
@@ -292,13 +369,77 @@ class MonitorPool:
         return self._ring_shards[position % len(self._ring_shards)]
 
     # ------------------------------------------------------------------ #
+    # Supervision
+    # ------------------------------------------------------------------ #
+    def _supervise(self) -> None:
+        """Poll shard-worker liveness; restart crashed shards.
+
+        Runs as a daemon thread for the pool's lifetime.  A shard whose
+        worker thread died unexpectedly (not a clean ``stop``) gets its
+        sessions marked lost — the next contact under each id answers
+        :data:`SESSION_LOST` — its queued items discarded (queued closes
+        fail their tickets with :class:`SessionLost`), and a fresh worker
+        thread started, so the pool keeps serving its other shards and the
+        crashed shard itself returns to service within one interval.
+        """
+        while True:
+            time.sleep(self._supervisor_interval)
+            with self._lock:
+                if self._closed:
+                    return
+                for shard in self._shards:
+                    if shard.stopping or shard.thread.is_alive():
+                        continue
+                    self._recover_shard(shard)
+
+    def _recover_shard(self, shard: _Shard) -> None:
+        """Fail a crashed shard's sessions over and restart it (lock held)."""
+        reason = (
+            f"session lost: monitor shard {shard.index} crashed "
+            f"({shard.last_error or 'worker thread died'}); "
+            "its in-memory monitoring state is gone and the session id may "
+            "be re-admitted"
+        )
+        lost = [
+            session_id
+            for session_id, session in self._sessions.items()
+            if session.shard is shard
+        ]
+        for session_id in lost:
+            del self._sessions[session_id]
+            self._remember_lost(session_id, reason)
+        self._sessions_lost += len(lost)
+        # Discard everything still queued: the sessions the items belong
+        # to are gone.  Queued closes must not hang their waiters.
+        while True:
+            try:
+                item = shard.queue.get_nowait()
+            except queue.Empty:
+                break
+            if item[0] == "end":
+                self._sessions_lost += 1
+                item[2]._fail(SessionLost(reason))
+        shard.restart()
+
+    def _remember_lost(self, session_id: str, reason: str) -> None:
+        while len(self._lost) >= MAX_LOST_MARKERS:
+            self._lost.pop(next(iter(self._lost)))
+        self._lost[session_id] = reason
+
+    # ------------------------------------------------------------------ #
     # The hot path: feeding events
     # ------------------------------------------------------------------ #
-    def feed(self, session_id: str, event: EventLabel) -> str:
+    def feed(self, session_id: str, event: EventLabel, *, seq: Optional[int] = None) -> str:
         """Queue one event for ``session_id``; :data:`ACCEPTED` or :data:`BUSY`."""
-        return self.feed_batch(session_id, (event,))
+        return self.feed_batch(session_id, (event,), seq=seq)
 
-    def feed_batch(self, session_id: str, events: Iterable[EventLabel]) -> str:
+    def feed_batch(
+        self,
+        session_id: str,
+        events: Iterable[EventLabel],
+        *,
+        seq: Optional[int] = None,
+    ) -> str:
         """Queue a batch of events for one session, atomically.
 
         The whole batch is one queue item: either every event is accepted
@@ -307,11 +448,24 @@ class MonitorPool:
         back, so a retry never reorders or duplicates a prefix.  The first
         accepted batch admits the session: it is assigned the next
         admission index and the *current* compile generation.
+
+        ``seq`` is an optional per-session batch sequence number for
+        idempotent retry: a batch whose ``seq`` does not exceed the
+        session's last accepted one is acknowledged :data:`ACCEPTED`
+        without being queued again (the client is re-sending after a lost
+        reply).  ``BUSY`` does not consume a sequence number.
+
+        If the session's shard crashed since the last contact, the first
+        call under its id answers :data:`SESSION_LOST` (once); the id is
+        then free to re-admit.
         """
         batch = tuple(events)
         with self._lock:
             if self._closed:
                 raise MonitoringError("the monitor pool is closed")
+            if session_id in self._lost:
+                del self._lost[session_id]
+                return SESSION_LOST
             session = self._sessions.get(session_id)
             if session is None:
                 shard = self._shards[self.route(session_id)]
@@ -338,12 +492,19 @@ class MonitorPool:
                 self._sessions[session_id] = session
                 self._next_index += 1
                 self._sessions_opened += 1
+                session.last_seq = seq
+                return ACCEPTED
+            if seq is not None and session.last_seq is not None and seq <= session.last_seq:
+                # Idempotent re-send: the batch was already accepted, only
+                # its reply was lost.  Acknowledge without re-queuing.
                 return ACCEPTED
             try:
                 session.shard.queue.put_nowait(("events", session, batch))
             except queue.Full:
                 self._busy_rejections += 1
                 return BUSY
+            if seq is not None:
+                session.last_seq = seq
         return ACCEPTED
 
     def end_session(self, session_id: str) -> Optional[SessionTicket]:
@@ -352,12 +513,16 @@ class MonitorPool:
         Returns a :class:`SessionTicket` to wait on, or ``None`` when the
         shard queue is full (:data:`BUSY` — the session stays open and the
         caller retries).  Ending an unknown session raises
-        :class:`MonitoringError`.  A closed session's id may be reused: the
-        next :meth:`feed` under it admits a brand-new session.
+        :class:`MonitoringError`; ending a session whose shard crashed
+        raises :class:`~repro.core.errors.SessionLost` (once — the id is
+        then free again).  A closed session's id may be reused: the next
+        :meth:`feed` under it admits a brand-new session.
         """
         with self._lock:
             if self._closed:
                 raise MonitoringError("the monitor pool is closed")
+            if session_id in self._lost:
+                raise SessionLost(self._lost.pop(session_id))
             session = self._sessions.get(session_id)
             if session is None:
                 raise MonitoringError(f"unknown session {session_id!r}")
@@ -431,6 +596,7 @@ class MonitorPool:
             busy = self._busy_rejections
             generation = self._generation
             rules = len(self._compiled)
+            sessions_lost = self._sessions_lost
         shard_stats = [shard.stats() for shard in self._shards]
         return {
             "shards": len(self._shards),
@@ -442,6 +608,8 @@ class MonitorPool:
             "sessions_closed": sum(entry["sessions_closed"] for entry in shard_stats),
             "events_processed": sum(entry["events_processed"] for entry in shard_stats),
             "busy_rejections": busy,
+            "restarts": sum(entry["restarts"] for entry in shard_stats),
+            "sessions_lost": sessions_lost,
             "per_shard": shard_stats,
         }
 
@@ -469,12 +637,48 @@ class MonitorPool:
             time.sleep(0.005)
         return False
 
+    def drain_sessions(self, timeout: float = 10.0) -> int:
+        """Close every open session and wait for the reports; return the count.
+
+        The graceful-shutdown path (``repro serve`` on SIGTERM): each open
+        session is ended — retrying briefly through :data:`BUSY` — and the
+        resulting tickets awaited so their reports land in the aggregate
+        before the pool is closed.  Sessions that cannot be closed inside
+        ``timeout`` (a wedged or repeatedly crashing shard) are abandoned;
+        the return value counts the sessions whose close completed.
+        """
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            session_ids = sorted(self._sessions)
+        tickets: List[SessionTicket] = []
+        for session_id in session_ids:
+            while True:
+                try:
+                    ticket = self.end_session(session_id)
+                except MonitoringError:
+                    break  # lost or already closed concurrently
+                if ticket is not None:
+                    tickets.append(ticket)
+                    break
+                if time.monotonic() >= deadline:
+                    break
+                time.sleep(0.005)  # BUSY: give the shard room to drain
+        closed = 0
+        for ticket in tickets:
+            try:
+                ticket.wait(timeout=max(0.0, deadline - time.monotonic()))
+                closed += 1
+            except MonitoringError:
+                continue  # timed out or lost; counted sessions only
+        return closed
+
     def close(self) -> None:
         """Stop every shard worker.  Open sessions are abandoned unclosed."""
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+        self._supervisor.join(timeout=self._supervisor_interval * 20 + 1.0)
         for shard in self._shards:
             shard.stop()
 

@@ -33,24 +33,40 @@ shard queue was full and *nothing* was queued — the client must resend the
 same frame (typically after a short backoff).  Because a batch is accepted
 or rejected atomically, retrying can never duplicate or reorder a prefix.
 
+``SESSION_LOST`` is the failure half (see ``docs/robustness.md``): a
+session whose pool shard crashed answers it exactly once on the next
+``EVENT``/``BATCH``/``END`` under its id — the monitoring state is gone,
+the id is free to re-admit.  ``EVENT``/``BATCH`` may carry an optional
+integer ``seq`` (per-session, monotonic): a re-sent batch whose ``seq``
+was already accepted is acknowledged ``OK`` without being fed again, which
+makes retry-after-reconnect idempotent even when the original reply was
+lost with the connection.
+
 :class:`PushClient` is the matching client: a thin framing wrapper plus
-convenience verbs and a pipelined bulk mode, used by the bench driver, the
-protocol tests and ``examples/push_client.py``.
+convenience verbs, a pipelined bulk mode, socket timeouts surfacing as
+:class:`~repro.core.errors.ServingTimeout`, and (opt-in via ``retries``)
+exponential-backoff reconnect with idempotent re-send of unanswered
+frames.  Used by the bench driver, the protocol tests and
+``examples/push_client.py``.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
 import socketserver
 import struct
 import threading
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from ..core.errors import DataFormatError, MonitoringError
+from ..core.errors import DataFormatError, MonitoringError, ServingTimeout, SessionLost
 from ..specs.repository import SpecificationRepository
-from .pool import ACCEPTED, MonitorPool
+from ..testing import faults
+from ..testing.faults import FaultInjected
+from .pool import ACCEPTED, SESSION_LOST, MonitorPool
 
 #: Frames above this size are refused (and the connection closed): a bad
 #: length prefix must never make the server buffer gigabytes.
@@ -108,6 +124,15 @@ def _string_field(payload: Dict[str, object], field: str) -> str:
     return value
 
 
+def _seq_field(payload: Dict[str, object]) -> Optional[int]:
+    value = payload.get("seq")
+    if value is None:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise MonitoringError("'seq' must be an integer batch sequence number")
+    return value
+
+
 def _report_payload(report, limit: Optional[int]) -> Dict[str, object]:
     violations = report.violations if limit is None else report.violations[:limit]
     return {
@@ -124,18 +149,40 @@ class _Handler(socketserver.StreamRequestHandler):
     def handle(self) -> None:  # noqa: D102 - socketserver plumbing
         server: "_PushTCPServer" = self.server  # type: ignore[assignment]
         front = server.front
+        frame_index = 0
         while True:
             try:
                 payload = read_frame(self.rfile, front.max_frame_bytes)
             except ProtocolError as error:
-                self._reply({"op": "ERROR", "error": str(error)})
+                try:
+                    self._reply({"op": "ERROR", "error": str(error)})
+                except OSError:
+                    pass  # half-closed peer; nothing left to tell it
                 return  # framing is gone; drop the connection
+            except OSError:
+                return  # peer reset mid-frame; drop the connection
             if payload is None:
                 return
             try:
-                reply, stop = front._dispatch(payload)
-            except (MonitoringError, DataFormatError, KeyError, TypeError, ValueError) as error:
-                reply, stop = {"op": "ERROR", "error": str(error)}, False
+                if faults.ACTIVE is not None:
+                    # Chaos hooks: drop the connection before (frame) or
+                    # after (reply) the request takes effect.
+                    faults.trigger("server.frame", key=str(frame_index))
+                try:
+                    reply, stop = front._dispatch(payload)
+                except (
+                    MonitoringError,
+                    DataFormatError,
+                    KeyError,
+                    TypeError,
+                    ValueError,
+                ) as error:
+                    reply, stop = {"op": "ERROR", "error": str(error)}, False
+                if faults.ACTIVE is not None:
+                    faults.trigger("server.reply", key=str(frame_index))
+            except FaultInjected:
+                return  # injected connection drop
+            frame_index += 1
             try:
                 self._reply(reply)
             except OSError:
@@ -243,14 +290,22 @@ class EventPushServer:
     # ------------------------------------------------------------------ #
     # Verb dispatch
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _feed_reply(status: str, session: str) -> Dict[str, object]:
+        if status == ACCEPTED:
+            return {"op": "OK"}
+        if status == SESSION_LOST:
+            return {"op": "SESSION_LOST", "session": session}
+        return {"op": "BUSY"}
+
     def _dispatch(self, payload: Dict[str, object]) -> Tuple[Dict[str, object], bool]:
         """Handle one request; returns ``(reply, stop_serving)``."""
         op = payload.get("op")
         if op == "EVENT":
             session = _string_field(payload, "session")
             event = _string_field(payload, "event")
-            status = self.pool.feed(session, event)
-            return ({"op": "OK"} if status == ACCEPTED else {"op": "BUSY"}), False
+            status = self.pool.feed(session, event, seq=_seq_field(payload))
+            return self._feed_reply(status, session), False
         if op == "BATCH":
             session = _string_field(payload, "session")
             events = payload.get("events")
@@ -258,14 +313,17 @@ class EventPushServer:
                 isinstance(event, str) for event in events
             ):
                 raise MonitoringError("BATCH needs an 'events' list of strings")
-            status = self.pool.feed_batch(session, events)
-            return ({"op": "OK"} if status == ACCEPTED else {"op": "BUSY"}), False
+            status = self.pool.feed_batch(session, events, seq=_seq_field(payload))
+            return self._feed_reply(status, session), False
         if op == "END":
             session = _string_field(payload, "session")
-            ticket = self.pool.end_session(session)
-            if ticket is None:
-                return {"op": "BUSY"}, False
-            report = ticket.wait(timeout=self.end_timeout)
+            try:
+                ticket = self.pool.end_session(session)
+                if ticket is None:
+                    return {"op": "BUSY"}, False
+                report = ticket.wait(timeout=self.end_timeout)
+            except SessionLost as error:
+                return {"op": "SESSION_LOST", "session": session, "error": str(error)}, False
             limit = payload.get("limit")
             reply = {"op": "SESSION", "session": session}
             reply.update(_report_payload(report, limit if isinstance(limit, int) else None))
@@ -305,27 +363,155 @@ class PushClient:
     be driven through it.  :meth:`request` is strict request/reply;
     :meth:`pipeline` keeps up to ``window`` requests in flight for bulk
     pushes (replies still arrive in request order).
+
+    Failure semantics (see ``docs/robustness.md``):
+
+    * every read is bounded by ``timeout`` — a server that stops replying
+      surfaces as :class:`~repro.core.errors.ServingTimeout` instead of a
+      hang (the connection is closed: a stream interrupted mid-frame
+      cannot be resynchronized);
+    * with ``retries > 0`` a dropped or refused connection is rebuilt with
+      exponential backoff plus jitter, and every request still awaiting a
+      reply is re-sent on the new connection in order.  Because the
+      convenience feeds number their batches (``seq``) per session, the
+      server acknowledges-without-refeeding any batch it already accepted,
+      so retry-after-reconnect is exactly-once for event delivery.  The
+      numbering assumes one writer per session — drive a session through
+      a single client at a time (sessions may still migrate between
+      connections sequentially).
     """
 
-    def __init__(self, host: str, port: int, timeout: Optional[float] = 30.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = 30.0,
+        *,
+        connect_timeout: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 0.2,
+        max_backoff: float = 5.0,
+        jitter: float = 0.25,
+    ) -> None:
+        self._address = (host, port)
+        self._timeout = timeout
+        self._connect_timeout = connect_timeout if connect_timeout is not None else timeout
+        self._retries = retries
+        self._backoff = backoff
+        self._max_backoff = max_backoff
+        self._jitter = jitter
+        self._unanswered: Deque[Dict[str, object]] = deque()
+        self._session_seq: Dict[str, int] = {}
+        self.reconnects = 0
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._connect()
+
+    # -- connection management ----------------------------------------- #
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(self._address, timeout=self._connect_timeout)
+        self._sock.settimeout(self._timeout)
         self._file = self._sock.makefile("rwb")
+
+    def _teardown(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _reconnect(self) -> None:
+        """Rebuild the connection (backoff + jitter); re-send unanswered frames."""
+        self._teardown()
+        delay = self._backoff
+        last_error: Optional[BaseException] = None
+        for _ in range(self._retries):
+            try:
+                self._connect()
+                break
+            except OSError as error:
+                last_error = error
+                time.sleep(delay + random.uniform(0.0, self._jitter * delay))
+                delay = min(delay * 2, self._max_backoff)
+        else:
+            host, port = self._address
+            raise ProtocolError(
+                f"could not reconnect to {host}:{port} after "
+                f"{self._retries} attempt(s): {last_error}"
+            )
+        self.reconnects += 1
+        assert self._file is not None
+        for payload in self._unanswered:
+            self._file.write(encode_frame(payload))
+        self._file.flush()
 
     # -- framing ------------------------------------------------------- #
     def send(self, payload: Dict[str, object]) -> None:
         """Write one request frame without waiting for its reply."""
-        self._file.write(encode_frame(payload))
+        self._unanswered.append(payload)
+        if self._file is None:
+            if not self._retries:
+                raise ProtocolError("the connection is closed")
+            self._reconnect()  # re-sends the queue, including this payload
+            return
+        try:
+            self._file.write(encode_frame(payload))
+        except OSError:
+            if not self._retries:
+                raise
+            self._reconnect()
 
     def flush(self) -> None:
-        self._file.flush()
+        if self._file is not None:
+            self._file.flush()
 
     def read(self) -> Dict[str, object]:
-        """Read one reply frame (replies arrive in request order)."""
-        self.flush()
-        reply = read_frame(self._file)
-        if reply is None:
-            raise ProtocolError("server closed the connection")
-        return reply
+        """Read one reply frame (replies arrive in request order).
+
+        Raises :class:`~repro.core.errors.ServingTimeout` when no reply
+        arrives within the socket timeout; with ``retries`` configured, a
+        dropped connection is rebuilt (unanswered requests re-sent) and
+        the read continues on the new connection.
+        """
+        while True:
+            if self._file is None:
+                if not self._retries:
+                    raise ProtocolError("the connection is closed")
+                self._reconnect()
+            try:
+                self.flush()
+                reply = read_frame(self._file)
+            except TimeoutError as error:
+                # A stream interrupted mid-frame cannot be resumed; drop
+                # the connection so the next call starts clean.
+                self._teardown()
+                host, port = self._address
+                raise ServingTimeout(
+                    f"no reply from {host}:{port} within {self._timeout:g}s "
+                    "(server unresponsive or overloaded)"
+                ) from error
+            except (OSError, ProtocolError):
+                if not self._retries:
+                    raise
+                self._teardown()
+                self._reconnect()
+                continue
+            if reply is None:
+                if not self._retries:
+                    raise ProtocolError("server closed the connection")
+                self._teardown()
+                self._reconnect()
+                continue
+            if self._unanswered:
+                self._unanswered.popleft()
+            return reply
 
     def request(self, payload: Dict[str, object]) -> Dict[str, object]:
         """Send one request and read its reply."""
@@ -339,7 +525,9 @@ class PushClient:
 
         Bounding the in-flight window keeps both sides' socket buffers
         from deadlocking on huge bursts (the server replies to every
-        frame; someone has to read those replies).
+        frame; someone has to read those replies).  An unresponsive server
+        surfaces as :class:`~repro.core.errors.ServingTimeout` from the
+        first overdue reply rather than a silent hang.
         """
         replies: List[Dict[str, object]] = []
         pending = 0
@@ -354,11 +542,26 @@ class PushClient:
         return replies
 
     # -- convenience verbs --------------------------------------------- #
+    def _next_seq(self, session: str) -> int:
+        seq = self._session_seq.get(session, -1) + 1
+        self._session_seq[session] = seq
+        return seq
+
     def feed(self, session: str, event: str) -> Dict[str, object]:
-        return self.request({"op": "EVENT", "session": session, "event": event})
+        payload: Dict[str, object] = {"op": "EVENT", "session": session, "event": event}
+        if self._retries:
+            payload["seq"] = self._next_seq(session)
+        return self.request(payload)
 
     def feed_batch(self, session: str, events: Sequence[str]) -> Dict[str, object]:
-        return self.request({"op": "BATCH", "session": session, "events": list(events)})
+        payload: Dict[str, object] = {
+            "op": "BATCH",
+            "session": session,
+            "events": list(events),
+        }
+        if self._retries:
+            payload["seq"] = self._next_seq(session)
+        return self.request(payload)
 
     def end(self, session: str, limit: Optional[int] = None) -> Dict[str, object]:
         payload: Dict[str, object] = {"op": "END", "session": session}
@@ -392,11 +595,7 @@ class PushClient:
         return self.request({"op": "SHUTDOWN"})
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        except OSError:
-            pass
-        self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "PushClient":
         return self

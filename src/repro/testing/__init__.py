@@ -1,0 +1,19 @@
+"""Test-support utilities shipped with the library.
+
+This package holds code that exists to *prove* properties of the system
+rather than to implement them.  Today that is one module:
+
+* :mod:`repro.testing.faults` — the deterministic fault-injection
+  harness behind ``tests/faults/``: named fault points compiled into the
+  engine and the serving plane fire configured actions (kill the worker
+  process, raise, fake ``ENOSPC``, stall, drop the connection) at exact,
+  bounded points so crash recovery can be exercised reproducibly.
+
+It ships inside ``src/`` (not ``tests/``) because the fault points live
+in production modules and must resolve the trigger API there; the
+happy-path cost is a single module-attribute check per fault site.
+"""
+
+from . import faults
+
+__all__ = ["faults"]

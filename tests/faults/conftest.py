@@ -1,0 +1,31 @@
+"""Shared plumbing for the fault-injection suite.
+
+Every test in this package arms :mod:`repro.testing.faults` rules; the
+autouse fixture guarantees no plan (or its token directory) leaks into the
+next test — or, worse, into an unrelated suite running after this one.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.testing import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def wait_until(predicate, timeout: float = 5.0, interval: float = 0.005) -> bool:
+    """Poll ``predicate`` until true or ``timeout`` elapses."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()

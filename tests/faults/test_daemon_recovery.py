@@ -1,0 +1,81 @@
+"""The watch daemon under store-side failures: backoff, telemetry, recovery."""
+
+import json
+
+from repro.ingest import TraceRecord, write_trace_records
+from repro.rules.config import RuleMiningConfig
+from repro.rules.nonredundant_miner import NonRedundantRecurrentRuleMiner
+from repro.serving import WatchDaemon
+from repro.testing import faults
+
+
+def _miner():
+    return NonRedundantRecurrentRuleMiner(
+        RuleMiningConfig(min_s_support=2, min_confidence=0.5)
+    )
+
+
+def _write(path, traces):
+    write_trace_records(
+        path,
+        [TraceRecord(tuple(trace), f"{path.stem}-{i}") for i, trace in enumerate(traces)],
+    )
+
+
+def test_enospc_cycle_backs_off_and_recovers(tmp_path):
+    watch = tmp_path / "watch"
+    watch.mkdir()
+    _write(watch / "day1.jsonl", [["a", "b"], ["a", "b"]])
+    daemon = WatchDaemon(watch, tmp_path / "store", _miner())
+    faults.install("store.append", "enospc", count=1)
+
+    cycles = daemon.run_forever(poll_interval=0.01, max_cycles=3)
+
+    # Cycle 1 hit the injected full disk and was counted, not fatal; the
+    # retry ingested the file and cleared the failure bookkeeping.
+    assert cycles == 2
+    assert daemon.cycle_failures == 1
+    assert daemon.consecutive_failures == 0
+    assert daemon.last_error is None
+    assert len(daemon.store) == 2
+    daemon.close()
+
+
+def test_failure_is_reported_in_watch_state_then_cleared(tmp_path):
+    watch = tmp_path / "watch"
+    watch.mkdir()
+    _write(watch / "day1.jsonl", [["a", "b"], ["a", "b"]])
+    store_dir = tmp_path / "store"
+    daemon = WatchDaemon(watch, store_dir, _miner())
+    faults.install("store.append", "enospc", count=1)
+
+    assert daemon.run_forever(poll_interval=0.01, max_cycles=1) == 0
+    state = json.loads((store_dir / "watch_state.json").read_text())
+    assert "No space left" in state["error"]["message"]
+    assert state["error"]["consecutive_failures"] == 1
+    assert state["error"]["total_failures"] == 1
+    assert state["error"]["next_backoff_seconds"] > 0
+
+    # The next successful cycle clears the error block for operators
+    # (max_cycles counts cumulatively, including the failed cycle above).
+    assert daemon.run_forever(poll_interval=0.01, max_cycles=2) == 1
+    state = json.loads((store_dir / "watch_state.json").read_text())
+    assert "error" not in state
+    assert len(daemon.store) == 2
+    daemon.close()
+
+
+def test_backoff_grows_exponentially_and_is_capped(tmp_path):
+    watch = tmp_path / "watch"
+    watch.mkdir()
+    _write(watch / "day1.jsonl", [["a", "b"]])
+    daemon = WatchDaemon(watch, tmp_path / "store", _miner())
+    faults.install("store.append", "enospc", count=3)
+
+    daemon.run_forever(poll_interval=0.01, max_cycles=3, max_backoff=0.03)
+
+    assert daemon.cycle_failures == 3
+    assert daemon.consecutive_failures == 3
+    # poll * 2**3 = 0.08 would exceed the cap.
+    assert daemon.current_backoff == 0.03
+    daemon.close()

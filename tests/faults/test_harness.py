@@ -1,0 +1,109 @@
+"""Unit tests for the fault-injection harness itself."""
+
+import os
+import threading
+
+import pytest
+
+from repro.testing import faults
+from repro.testing.faults import FaultInjected, FaultRule, parse_spec
+
+
+def test_unarmed_triggers_are_free_no_ops():
+    assert faults.ACTIVE is None
+    faults.trigger("engine.unit", key="grow:lock")  # must not raise
+
+
+def test_raise_action_fires_and_respects_its_budget():
+    faults.install("unit.test", "raise", count=2)
+    fired = 0
+    for _ in range(5):
+        try:
+            faults.trigger("unit.test")
+        except FaultInjected:
+            fired += 1
+    assert fired == 2
+
+
+def test_budget_is_claimed_atomically_across_threads():
+    faults.install("unit.race", "raise", count=3)
+    fired = []
+
+    def hammer():
+        for _ in range(20):
+            try:
+                faults.trigger("unit.race")
+            except FaultInjected:
+                fired.append(1)
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(fired) == 3
+
+
+def test_keyed_rules_only_fire_on_their_key():
+    faults.install("unit.keyed", "raise", key="shard-1")
+    faults.trigger("unit.keyed", key="shard-0")  # no match
+    faults.trigger("unit.keyed")  # keyed rule needs a key to match
+    with pytest.raises(FaultInjected):
+        faults.trigger("unit.keyed", key="shard-1")
+
+
+def test_drop_action_is_flagged_as_a_connection_drop():
+    faults.install("unit.drop", "drop", count=1)
+    with pytest.raises(FaultInjected) as excinfo:
+        faults.trigger("unit.drop")
+    assert excinfo.value.drop_connection
+    faults.reset()
+    faults.install("unit.raise", "raise", count=1)
+    with pytest.raises(FaultInjected) as excinfo:
+        faults.trigger("unit.raise")
+    assert not excinfo.value.drop_connection
+
+
+def test_enospc_action_raises_a_disk_full_oserror():
+    import errno
+
+    faults.install("unit.disk", "enospc", count=1)
+    with pytest.raises(OSError) as excinfo:
+        faults.trigger("unit.disk")
+    assert excinfo.value.errno == errno.ENOSPC
+
+
+def test_reset_removes_the_owned_token_directory():
+    plan = faults.install("unit.dir", "raise", count=1)
+    token_dir = plan.token_dir
+    assert token_dir is not None and os.path.isdir(token_dir)
+    faults.reset()
+    assert faults.ACTIVE is None
+    assert not os.path.exists(token_dir)
+
+
+def test_parse_spec_round_trips():
+    rules = parse_spec("engine.unit:kill:key=grow-3:count=2;store.append:enospc")
+    assert [rule.spec() for rule in rules] == [
+        "engine.unit:kill:key=grow-3:count=2",
+        "store.append:enospc",
+    ]
+    assert rules[0].count == 2 and rules[0].key == "grow-3"
+    assert rules[1].count is None and rules[1].key is None
+
+
+@pytest.mark.parametrize(
+    "spec",
+    ["engine.unit", "site:unknown-action", "site:kill:bogus=1"],
+)
+def test_bad_specs_are_rejected(spec):
+    with pytest.raises(ValueError):
+        for rule in parse_spec(spec):
+            FaultRule(rule.site, rule.action)
+
+
+def test_install_accumulates_rules_into_one_plan():
+    faults.install("a.site", "raise", count=1)
+    plan = faults.install("b.site", "sleep", value=0.0)
+    assert [rule.site for rule in plan.rules] == ["a.site", "b.site"]
+    assert faults.ACTIVE is plan

@@ -1,0 +1,117 @@
+"""Shard supervision in the monitor pool: crash, SESSION_LOST, restart."""
+
+import pytest
+
+from repro.core.errors import MonitoringError, ServingTimeout, SessionLost
+from repro.rules.rule import RecurrentRule
+from repro.serving.pool import ACCEPTED, SESSION_LOST, MonitorPool
+from repro.testing import faults
+
+from .conftest import wait_until
+
+RULES = [
+    RecurrentRule(
+        premise=("open",), consequent=("close",), s_support=2, i_support=2, confidence=1.0
+    ),
+]
+
+
+def _session_on(pool: MonitorPool, shard_index: int, prefix: str = "s") -> str:
+    """A session id that consistently hashes onto ``shard_index``."""
+    for attempt in range(10_000):
+        session_id = f"{prefix}-{attempt}"
+        if pool.route(session_id) == shard_index:
+            return session_id
+    raise AssertionError(f"no session id found for shard {shard_index}")
+
+
+def test_crashed_shard_is_restarted_and_answers_session_lost_once():
+    with MonitorPool(RULES, shards=2, supervisor_interval=0.02) as pool:
+        victim = _session_on(pool, 0)
+        bystander = _session_on(pool, 1, prefix="t")
+        assert pool.feed(victim, "open") == ACCEPTED
+        assert pool.feed(bystander, "open") == ACCEPTED
+        assert pool.drain()
+
+        faults.install("pool.shard", "raise", key="0", count=1)
+        assert pool.feed(victim, "use") == ACCEPTED  # the item that kills the shard
+        assert wait_until(lambda: pool.stats()["restarts"] == 1)
+
+        stats = pool.stats()
+        assert stats["sessions_lost"] == 1
+        assert stats["per_shard"][0]["errors"] == 1
+        assert stats["per_shard"][0]["restarts"] == 1
+
+        # Exactly one SESSION_LOST per lost session, then the id is free.
+        assert pool.feed(victim, "use") == SESSION_LOST
+        assert pool.feed(victim, "open") == ACCEPTED
+
+        # The other shard never noticed; the restarted shard serves again.
+        assert pool.feed(bystander, "close") == ACCEPTED
+        for session_id in (victim, bystander):
+            ticket = pool.end_session(session_id)
+            assert ticket is not None
+            ticket.wait(timeout=5.0)
+        assert pool.report().total_points > 0
+
+
+def test_end_session_raises_session_lost_after_a_crash():
+    with MonitorPool(RULES, shards=1, supervisor_interval=0.02) as pool:
+        assert pool.feed("solo", "open") == ACCEPTED
+        faults.install("pool.shard", "raise", key="0", count=1)
+        assert pool.feed("solo", "use") == ACCEPTED
+        assert wait_until(lambda: pool.stats()["restarts"] == 1)
+        with pytest.raises(SessionLost):
+            pool.end_session("solo")
+        # The marker was consumed: the id is now simply unknown.
+        with pytest.raises(MonitoringError, match="unknown"):
+            pool.end_session("solo")
+
+
+def test_queued_end_ticket_fails_with_session_lost():
+    with MonitorPool(RULES, shards=1, supervisor_interval=0.02) as pool:
+        assert pool.feed("solo", "open") == ACCEPTED
+        assert pool.drain()
+        pool.pause_shard(0)
+        assert pool.feed("solo", "use") == ACCEPTED
+        ticket = pool.end_session("solo")
+        assert ticket is not None
+        faults.install("pool.shard", "raise", key="0", count=1)
+        pool.resume_shard(0)  # the events item kills the shard; END is still queued
+        with pytest.raises(SessionLost):
+            ticket.wait(timeout=5.0)
+        assert wait_until(lambda: pool.stats()["restarts"] == 1)
+
+
+def test_session_ticket_wait_times_out_and_can_be_retried():
+    with MonitorPool(RULES, shards=1) as pool:
+        pool.pause_shard(0)
+        assert pool.feed("slow", "open") == ACCEPTED
+        ticket = pool.end_session("slow")
+        assert ticket is not None
+        with pytest.raises(ServingTimeout, match="0.05"):
+            ticket.wait(timeout=0.05)
+        assert not ticket.done
+        pool.resume_shard(0)
+        report = ticket.wait(timeout=5.0)  # the close stayed pending; retry works
+        assert report.total_points >= 0
+
+
+def test_seq_deduplicates_resent_batches():
+    with MonitorPool(RULES, shards=1) as pool:
+        assert pool.feed_batch("dup", ("open", "close"), seq=0) == ACCEPTED
+        assert pool.feed_batch("dup", ("open", "close"), seq=0) == ACCEPTED  # re-send
+        assert pool.feed_batch("dup", ("open",), seq=1) == ACCEPTED
+        ticket = pool.end_session("dup")
+        assert ticket is not None
+        ticket.wait(timeout=5.0)
+        assert pool.stats()["events_processed"] == 3  # the re-send fed nothing
+
+
+def test_drain_sessions_closes_everything_for_shutdown():
+    with MonitorPool(RULES, shards=2) as pool:
+        for index in range(5):
+            assert pool.feed(f"open-{index}", "open") == ACCEPTED
+        assert pool.drain_sessions(timeout=5.0) == 5
+        assert pool.active_sessions == 0
+        assert pool.stats()["sessions_closed"] == 5
