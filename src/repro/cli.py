@@ -7,6 +7,12 @@ Sub-commands cover the full workflow of the paper:
 * ``ingest``       — stream trace files into an append-only trace store;
 * ``mine-patterns``— mine frequent / closed iterative patterns (Section 4);
 * ``mine-rules``   — mine full / non-redundant recurrent rules (Section 5);
+* ``fsck``         — audit a trace store's integrity (chained fingerprints,
+  torn tails, stale caches and checkpoints; exit 0/1/2 for
+  clean/repaired/corrupt);
+* ``compact``      — rewrite a store dropping deleted batches and
+  garbage-collecting unreferenced vocabulary labels into a new
+  fingerprint lineage;
 * ``monitor``      — check a specification repository against traces
   (``--stream`` compiles the rules and checks one event at a time);
 * ``watch``        — the serving daemon: tail a directory into a store,
@@ -23,12 +29,16 @@ repository (see :class:`repro.specs.SpecificationRepository`).  The mining
 commands accept either a flat trace file (``--input``) or a trace store
 (``--store``, optionally appending new files first with ``--append``);
 store-backed mining keeps a persisted record cache in the store directory,
-so repeated ``--append`` invocations re-mine only the touched roots.
+so repeated ``--append`` invocations re-mine only the touched roots.  Long
+mining runs can journal completed work with ``--checkpoint DIR`` (alias
+``--resume``): a run killed mid-mine resumes from the journal and emits
+output byte-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import signal
 import sys
 import threading
@@ -38,6 +48,8 @@ from typing import List, Optional
 from .analysis.reporting import format_table
 from .core.errors import ConfigurationError, DataFormatError
 from .datagen.profiles import PAPER_PROFILE, generate_profile
+from .durability.checkpoint import MiningCheckpoint, file_fingerprint, miner_config_token
+from .durability.fsck import audit_store
 from .engine import BACKEND_CHOICES, ExecutionBackend, resolve_backend
 from .jboss.workloads import (
     generate_case_study_traces,
@@ -121,6 +133,7 @@ def _build_parser() -> argparse.ArgumentParser:
     patterns.add_argument("--top", type=int, default=20, help="how many patterns to print")
     patterns.add_argument("--save", default=None, help="save results to a JSON repository")
     _add_engine_arguments(patterns)
+    _add_checkpoint_argument(patterns)
 
     rules = subparsers.add_parser("mine-rules", help="mine recurrent rules")
     _add_source_arguments(rules)
@@ -133,6 +146,34 @@ def _build_parser() -> argparse.ArgumentParser:
     rules.add_argument("--top", type=int, default=20, help="how many rules to print")
     rules.add_argument("--save", default=None, help="save results to a JSON repository")
     _add_engine_arguments(rules)
+    _add_checkpoint_argument(rules)
+
+    fsck = subparsers.add_parser(
+        "fsck",
+        help="audit a trace store: re-hash the fingerprint chain, repair "
+        "torn tails, drop stale caches and checkpoints",
+    )
+    fsck.add_argument("store", help="trace store directory to audit")
+    fsck.add_argument(
+        "--no-repair",
+        action="store_true",
+        help="report only; never truncate tails or remove stale state",
+    )
+
+    compact = subparsers.add_parser(
+        "compact",
+        help="rewrite a store dropping deleted batches and unreferenced "
+        "vocabulary labels into a new fingerprint lineage",
+    )
+    compact.add_argument("store", help="trace store directory to compact")
+    compact.add_argument(
+        "--delete-batch",
+        type=int,
+        action="append",
+        default=[],
+        metavar="INDEX",
+        help="tombstone this batch index before compacting (repeatable)",
+    )
 
     monitor = subparsers.add_parser("monitor", help="check rules against traces")
     monitor.add_argument("--input", required=True, help="input trace file")
@@ -386,6 +427,58 @@ def _resolve_backend_or_none(args: argparse.Namespace) -> Optional[ExecutionBack
         return None
 
 
+def _add_checkpoint_argument(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--checkpoint",
+        "--resume",
+        dest="checkpoint",
+        default=None,
+        metavar="DIR",
+        help="journal completed work units to this directory; rerunning the "
+        "same command after a crash resumes from the journal (a changed "
+        "input, miner, or config starts the journal over)",
+    )
+
+
+def _attach_checkpoint(args: argparse.Namespace, source, miner, backend) -> bool:
+    """Wire --checkpoint onto the backend; False signals a reported error.
+
+    The journal's identity is {database fingerprint, miner class, config
+    token} — exactly the incremental cache's keying — so a journal can
+    never replay outcomes into a run it does not belong to: any mismatch
+    silently starts a fresh journal instead of resuming.
+    """
+    if getattr(args, "checkpoint", None) is None:
+        return True
+    database, store = source
+    try:
+        identity = {
+            "database": store.fingerprint if store is not None else file_fingerprint(args.input),
+            "miner": type(miner).__qualname__,
+            "config": miner_config_token(miner),
+        }
+        backend.checkpoint = MiningCheckpoint(args.checkpoint, identity)
+    except OSError as error:
+        print(f"error: checkpoint {args.checkpoint}: {error}", file=sys.stderr)
+        return False
+    return True
+
+
+def _finish_checkpoint(args: argparse.Namespace, backend, result) -> None:
+    """Close the journal and report how much of the run it saved."""
+    if getattr(backend, "checkpoint", None) is None:
+        return
+    resumed = result.stats.extra.get("units_resumed", 0) + result.stats.extra.get(
+        "shards_resumed", 0
+    )
+    print(
+        f"checkpoint: resumed {resumed} completed units from {args.checkpoint}",
+        file=sys.stderr,
+    )
+    backend.checkpoint.close()
+    backend.checkpoint = None
+
+
 def _command_generate(args: argparse.Namespace) -> int:
     database = generate_profile(args.profile, scale=args.scale, seed=args.seed)
     write_traces(database, args.output, format=args.format)
@@ -406,6 +499,22 @@ def _command_jboss(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ingest_source_id(path: str) -> dict:
+    """Content identity of one ingest input: resolved path + byte hash.
+
+    Recorded on every batch the file produces, and checked before
+    re-ingesting: a crash-interrupted multi-file ingest can simply be
+    re-run with the same arguments — already-committed files are skipped,
+    never duplicated.  The hash keeps the check honest when a file is
+    rewritten in place with new content.
+    """
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return {"path": str(Path(path).resolve()), "sha256": digest.hexdigest()}
+
+
 def _command_ingest(args: argparse.Namespace) -> int:
     # Validate every input before creating or touching the store: a typo'd
     # path must not leave behind a fresh empty store that later --store
@@ -423,13 +532,17 @@ def _command_ingest(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     for path in args.input:
+        source = _ingest_source_id(path)
+        if store.has_source(source):
+            print(f"skipping {path}: already ingested (same content)", file=sys.stderr)
+            continue
         traces = _annotated_stream(path, args.format)
         try:
             # One manifest commit per file: a parse error mid-file commits
             # none of the file's chunks, so fixing it and re-running never
             # duplicates traces (earlier *files* stay committed — re-run
-            # with the failed files only).
-            batches = store.append_batches(stream_batches(traces, args.batch_size))
+            # the same command and they are skipped by source identity).
+            batches = store.append_batches(stream_batches(traces, args.batch_size), source=source)
         except DataFormatError as error:
             print(f"error: {error}", file=sys.stderr)
             if fresh:
@@ -453,6 +566,34 @@ def _command_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_fsck(args: argparse.Namespace) -> int:
+    report = audit_store(args.store, repair=not args.no_repair)
+    for line in report.lines():
+        print(line)
+    code = report.exit_code
+    verdict = {0: "clean", 1: "issues found", 2: "CORRUPT"}[code]
+    print(f"fsck {args.store}: {verdict} (exit {code})")
+    return code
+
+
+def _command_compact(args: argparse.Namespace) -> int:
+    try:
+        store = TraceStore.open(args.store)
+        if args.delete_batch:
+            marked = store.mark_deleted(args.delete_batch)
+            print(f"tombstoned {marked} batches", file=sys.stderr)
+        report = store.compact()
+    except (DataFormatError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"compacted {args.store}: {report.describe()}")
+    print(
+        f"new lineage {store.fingerprint[:12]} (compacted from "
+        f"{report.compacted_from[:12]}; downstream caches will fully re-mine)"
+    )
+    return 0
+
+
 def _command_mine_patterns(args: argparse.Namespace) -> int:
     source = _resolve_mining_source(args)
     if source is None:
@@ -467,7 +608,10 @@ def _command_mine_patterns(args: argparse.Namespace) -> int:
     if backend is None:
         return 2
     miner = FullIterativePatternMiner(config) if args.full else ClosedIterativePatternMiner(config)
+    if not _attach_checkpoint(args, source, miner, backend):
+        return 2
     result = _mine_source(source, miner, backend)
+    _finish_checkpoint(args, backend, result)
     kind = "frequent" if args.full else "closed"
     print(
         f"mined {len(result)} {kind} iterative patterns "
@@ -498,7 +642,10 @@ def _command_mine_rules(args: argparse.Namespace) -> int:
     if backend is None:
         return 2
     miner = FullRecurrentRuleMiner(config) if args.full else NonRedundantRecurrentRuleMiner(config)
+    if not _attach_checkpoint(args, source, miner, backend):
+        return 2
     result = _mine_source(source, miner, backend)
+    _finish_checkpoint(args, backend, result)
     kind = "significant" if args.full else "non-redundant"
     print(
         f"mined {len(result)} {kind} recurrent rules "
@@ -685,6 +832,8 @@ _COMMANDS = {
     "ingest": _command_ingest,
     "mine-patterns": _command_mine_patterns,
     "mine-rules": _command_mine_rules,
+    "fsck": _command_fsck,
+    "compact": _command_compact,
     "monitor": _command_monitor,
     "watch": _command_watch,
     "serve": _command_serve,

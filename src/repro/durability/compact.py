@@ -1,0 +1,169 @@
+"""Store compaction with vocabulary GC — behind ``repro compact``.
+
+:func:`compact_store` rewrites a :class:`~repro.ingest.store.TraceStore`
+into a fresh *lineage*: batches tombstoned by
+:meth:`~repro.ingest.store.TraceStore.mark_deleted` are dropped, the
+surviving traces are re-encoded against a rebuilt vocabulary that no
+longer carries labels only the dead batches referenced, and the
+fingerprint chain restarts from scratch in a new generation-named data
+file.  The old lineage's final fingerprint is recorded as
+``compacted_from`` in the manifest — the provenance link that tells every
+consumer keyed on fingerprints (incremental caches, checkpoints, saved
+repositories) that their state belongs to a corpus that no longer exists,
+forcing exactly one full re-mine.
+
+Crash safety is the manifest swap: the new data file is written and
+fsynced *first*, then the manifest is replaced atomically
+(:func:`~repro.durability.journal.atomic_write_text`).  A crash before
+the swap leaves the old store fully valid plus an orphaned new-generation
+file; a crash after leaves the new store fully valid plus the superseded
+old file.  ``repro fsck`` recognises and removes either orphan.  The
+persisted incremental caches are deleted last — if that is where the
+crash lands, the caches' lineage check discards them on next use anyway.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+from dataclasses import dataclass
+
+from ..core.events import EventVocabulary
+from ..ingest.store import BatchInfo, _encode_trace
+from ..testing import faults
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """Before/after accounting of one :func:`compact_store` run."""
+
+    batches_before: int
+    batches_after: int
+    traces_before: int
+    traces_after: int
+    bytes_before: int
+    bytes_after: int
+    labels_before: int
+    labels_after: int
+    generation: int
+    compacted_from: str
+
+    def describe(self) -> str:
+        return (
+            f"batches {self.batches_before} -> {self.batches_after}, "
+            f"traces {self.traces_before} -> {self.traces_after}, "
+            f"bytes {self.bytes_before} -> {self.bytes_after}, "
+            f"labels {self.labels_before} -> {self.labels_after} "
+            f"(generation {self.generation})"
+        )
+
+
+def compact_store(store) -> CompactionReport:
+    """Rewrite ``store`` without its tombstoned batches; GC dead labels.
+
+    Mutates ``store`` in place (vocabulary, batch list, data file name,
+    generation) and on disk.  Runs even with nothing tombstoned — that is
+    a pure vocabulary GC plus lineage re-root, occasionally useful to
+    invalidate every downstream cache on purpose.
+    """
+    before = store.describe()
+    old_fingerprint = store.fingerprint
+    old_data_path = store.data_path
+    survivors = [batch for batch in store.batches if not batch.deleted]
+    generation = store.generation + 1
+    new_data_path = store.directory / f"traces-gen{generation}.bin"
+
+    # Pass 1: rebuild the vocabulary from surviving traces in first-
+    # appearance order (the same order ingesting only the survivors would
+    # have produced), building the old-id -> new-id remap.
+    vocabulary = EventVocabulary()
+    remap: dict = {}
+    for batch in survivors:
+        for trace in store.iter_traces(batch.index, batch.index + 1):
+            for event in trace.events:
+                if event not in remap:
+                    remap[event] = vocabulary.intern(store.vocabulary.label_of(event))
+
+    # Pass 2: stream the surviving traces, re-encoded, into the new
+    # generation's data file, re-deriving a fresh fingerprint chain.
+    new_batches = []
+    offset = 0
+    previous = ""
+    with open(new_data_path, "wb") as handle:
+        for batch in survivors:
+            digest = hashlib.sha256()
+            nbytes = 0
+            traces_count = 0
+            events_count = 0
+            alphabet: set = set()
+            for trace in store.iter_traces(batch.index, batch.index + 1):
+                encoded = tuple(remap[event] for event in trace.events)
+                chunk = _encode_trace(encoded, trace.name)
+                handle.write(chunk)
+                digest.update(chunk)
+                nbytes += len(chunk)
+                traces_count += 1
+                events_count += len(encoded)
+                alphabet.update(encoded)
+            fingerprint = hashlib.sha256(
+                previous.encode("ascii") + digest.digest()
+            ).hexdigest()
+            new_batches.append(
+                BatchInfo(
+                    index=len(new_batches),
+                    offset=offset,
+                    nbytes=nbytes,
+                    traces=traces_count,
+                    events=events_count,
+                    alphabet=tuple(sorted(alphabet)),
+                    fingerprint=fingerprint,
+                    source=batch.source,
+                )
+            )
+            previous = fingerprint
+            offset += nbytes
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    if faults.ACTIVE is not None:
+        # Chaos hook: die between writing the new generation and swapping
+        # the manifest — the old store must stay fully valid and fsck must
+        # recognise the new file as an orphan.
+        faults.trigger("compact.swap")
+
+    # The swap: one atomic manifest replace moves the store to the new
+    # lineage.  Roll the in-memory state back if the replace fails, so a
+    # caller that catches (say) ENOSPC still holds a consistent store.
+    rollback = (store.vocabulary, store.batches, store.data_file, store.generation, store.compacted_from)
+    store.vocabulary = vocabulary
+    store.batches = new_batches
+    store.data_file = new_data_path.name
+    store.generation = generation
+    store.compacted_from = old_fingerprint
+    try:
+        store._save_manifest()
+    except BaseException:
+        (store.vocabulary, store.batches, store.data_file, store.generation, store.compacted_from) = rollback
+        new_data_path.unlink(missing_ok=True)
+        raise
+
+    # Post-swap cleanup: the superseded data file and the record caches
+    # (all keyed to the old lineage) are now garbage.  Best-effort — a
+    # crash in here leaves debris fsck removes, never an invalid store.
+    if old_data_path != store.data_path:
+        old_data_path.unlink(missing_ok=True)
+    shutil.rmtree(store.directory / "cache", ignore_errors=True)
+
+    return CompactionReport(
+        batches_before=before["batches"],
+        batches_after=len(new_batches),
+        traces_before=before["traces"],
+        traces_after=sum(batch.traces for batch in new_batches),
+        bytes_before=before["bytes"],
+        bytes_after=offset,
+        labels_before=before["distinct_events"],
+        labels_after=len(vocabulary),
+        generation=generation,
+        compacted_from=old_fingerprint,
+    )

@@ -76,6 +76,16 @@ class ExecutionBackend:
 
     name = "abstract"
 
+    #: Optional :class:`~repro.durability.checkpoint.MiningCheckpoint`.
+    #: When set, every completed shard (or work unit, on the stealing
+    #: backend) is journaled as it lands, and ``execute`` reuses the
+    #: outcomes already journaled by a previous (crashed) run instead of
+    #: re-mining them.  Soundness: outcomes are pure functions of the
+    #: database and configuration the checkpoint identity pins, and the
+    #: merge is deterministic, so a resumed run is byte-identical to an
+    #: uninterrupted one.
+    checkpoint = None
+
     def execute(self, runner: ShardRunner) -> Tuple[List[Any], MiningStats]:
         """Plan, execute and merge the search; return (records, counters)."""
         plan = runner.plan()
@@ -84,10 +94,23 @@ class ExecutionBackend:
             stats.pruned_support += plan.pruned_support
             return [], stats
         shards = plan_shards(plan.roots, self.shard_count(len(plan.roots)))
-        outcomes = self.map_shards(runner, shards)
-        records, stats = merge_outcomes(outcomes)
+        cached: List[ShardOutcome] = []
+        pending = list(shards)
+        if self.checkpoint is not None:
+            done = self.checkpoint.completed_shards()
+            cached = [done[tuple(s.roots)] for s in shards if tuple(s.roots) in done]
+            pending = [s for s in shards if tuple(s.roots) not in done]
+        outcomes = self.map_shards(runner, pending) if pending else []
+        records, stats = merge_outcomes(cached + outcomes)
         stats.pruned_support += plan.pruned_support
+        if cached:
+            stats.bump("shards_resumed", len(cached))
         return records, stats
+
+    def _record_shard(self, shard: Shard, outcome: ShardOutcome) -> None:
+        """Journal one completed shard if a checkpoint is armed."""
+        if self.checkpoint is not None:
+            self.checkpoint.record_shard(shard, outcome)
 
     def shard_count(self, num_roots: int) -> int:
         """How many shards to split ``num_roots`` roots into."""
@@ -127,7 +150,12 @@ class SerialBackend(ExecutionBackend):
         self, runner: ShardRunner, shards: TypingSequence[Shard]
     ) -> List[ShardOutcome]:
         runner.setup()
-        return [runner.run_shard(shard) for shard in shards]
+        outcomes = []
+        for shard in shards:
+            outcome = runner.run_shard(shard)
+            self._record_shard(shard, outcome)
+            outcomes.append(outcome)
+        return outcomes
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -180,8 +208,11 @@ class ProcessPoolBackend(ExecutionBackend):
         self, runner: ShardRunner, shards: TypingSequence[Shard]
     ) -> List[ShardOutcome]:
         if self.workers <= 1 or len(shards) <= 1:
-            # Nothing to parallelise; avoid pool start-up entirely.
-            return SerialBackend(max_shards=len(shards) or 1).map_shards(runner, shards)
+            # Nothing to parallelise; avoid pool start-up entirely.  The
+            # fallback inherits the checkpoint so completions still journal.
+            fallback = SerialBackend(max_shards=len(shards) or 1)
+            fallback.checkpoint = self.checkpoint
+            return fallback.map_shards(runner, shards)
         outcomes: Dict[int, ShardOutcome] = {}
         remaining: Dict[int, Shard] = {shard.index: shard for shard in shards}
         broken_rounds = 0
@@ -230,6 +261,7 @@ class ProcessPoolBackend(ExecutionBackend):
                     broken = True
                     continue
                 outcomes[index] = outcome
+                self._record_shard(remaining[index], outcome)
                 del remaining[index]
         return broken
 

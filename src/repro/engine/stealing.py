@@ -396,6 +396,11 @@ class _Coordinator:
         self.outcomes: Dict[int, UnitOutcome] = {}
         self.live: Set[int] = set()
         self.idle: Set[int] = set()
+        #: Armed checkpoint journal, if the backend carries one.  Entries
+        #: are appended in coordinator event order; a worker's _Spawn
+        #: messages precede its _Report on the same queue, so a journaled
+        #: outcome implies its split announcements are journaled too.
+        self.checkpoint = backend.checkpoint
 
     # ------------------------------------------------------------------ #
     # Worker lifecycle
@@ -464,6 +469,8 @@ class _Coordinator:
                 task = self._new_task(unit, 0, parent.eager)
                 siblings.append(task.task_id)
                 self.pending.append(task)
+            if self.checkpoint is not None:
+                self.checkpoint.record_spawn(parent.unit, message.units)
             return
         if isinstance(message, _Report):
             task = self.in_flight.pop(message.worker_index, None)
@@ -473,6 +480,8 @@ class _Coordinator:
             if task is None or task.task_id in self.orphaned:
                 return  # outcome of an orphaned attempt: discard
             self.outcomes[task.task_id] = message.outcome
+            if self.checkpoint is not None:
+                self.checkpoint.record_unit(task.unit, message.outcome)
             return
         raise ExecutionFault(f"unexpected coordinator message {message!r}")
 
@@ -519,6 +528,12 @@ class _Coordinator:
                 f"(last failure: {reason}; retry budget {self.backend.unit_retries})"
             )
         self._orphan_subtree(task.task_id)
+        if self.checkpoint is not None:
+            # The journal must invalidate the lost attempt's subtree the
+            # same way the live orphan set does: a resume that replayed
+            # both the parent's re-run and its old children would double-
+            # cover the search space.
+            self.checkpoint.record_orphan(task.unit)
         replay = self._new_task(task.unit, retries, task.eager or force_eager)
         self.pending.appendleft(replay)
         with self.queued.get_lock():
@@ -633,18 +648,29 @@ def _run_units_in_process(
     runner.setup()
     pending: deque = deque(units)
     eager = backend.eager_split
+    checkpoint = backend.checkpoint
     outcomes: List[UnitOutcome] = []
     while pending:
         unit = pending.popleft()
+
+        def submit(spawned, parent=unit):
+            spawned = list(spawned)
+            pending.extend(spawned)
+            if checkpoint is not None:
+                checkpoint.record_spawn(parent, spawned)
+
         splitter = StealSplitter(
-            pending.extend,
+            submit,
             lambda: False,
             backend.split_depth,
             backend.check_interval,
             backend.offload_min_cost,
             eager,
         )
-        outcomes.append(runner.run_unit(unit, splitter))
+        outcome = runner.run_unit(unit, splitter)
+        if checkpoint is not None:
+            checkpoint.record_unit(unit, outcome)
+        outcomes.append(outcome)
     return outcomes
 
 
@@ -715,10 +741,22 @@ class WorkStealingBackend(ExecutionBackend):
         stats.pruned_support += pruned_support
         if not units:
             return [], stats
-        if self.workers <= 1:
+        cached: List[UnitOutcome] = []
+        if self.checkpoint is not None:
+            # Reuse whatever a previous (crashed) run journaled under the
+            # same identity; only the remainder is dispatched.  Unit
+            # outcomes are plan-independent, so this is sound even when
+            # the resumed plan differs from the crashed one.
+            cached, units = self.checkpoint.plan_resume(units)
+            if cached:
+                stats.bump("units_resumed", len(cached))
+        if not units:
+            outcomes = []
+        elif self.workers <= 1:
             outcomes = _run_units_in_process(runner, units, self)
         else:
             outcomes = _run_units_with_processes(runner, units, self, stats)
+        outcomes = cached + outcomes
         for outcome in outcomes:
             stats.merge_counters(outcome.stats)
         records = runner.resolve_units(outcomes)

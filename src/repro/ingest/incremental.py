@@ -32,8 +32,6 @@ O(corpus) — of indexing per refresh.
 
 from __future__ import annotations
 
-import dataclasses
-import os
 import pickle
 import time
 from dataclasses import dataclass
@@ -44,6 +42,8 @@ from ..core.errors import ConfigurationError
 from ..core.events import EventId
 from ..core.sequence import SequenceDatabase
 from ..core.stats import MiningStats
+from ..durability.checkpoint import miner_config_token
+from ..durability.journal import atomic_write_bytes
 from ..engine import ExecutionBackend, PlanResult, SerialBackend, ShardRunner, run_sharded
 from .store import TraceStore
 
@@ -202,24 +202,12 @@ class IncrementalMiner:
     def _config_token(self) -> str:
         """Identity of the cached search: miner class + full configuration.
 
-        The configs are frozen dataclasses, so rendering every field gives
-        a complete identity — but set-valued fields must be rendered in
-        sorted order: ``repr(frozenset(...))`` follows the per-process
-        string hash seed, and a token that changes between processes would
-        silently discard the cache on every CLI invocation.
+        Shared with the checkpoint journal (one definition of "same mining
+        run" across both persistence layers); see
+        :func:`repro.durability.checkpoint.miner_config_token` for why
+        set-valued fields render sorted.
         """
-        config = self.miner.config
-        if not dataclasses.is_dataclass(config):
-            return f"{type(self.miner).__qualname__}:{config!r}"
-        parts = []
-        for field in dataclasses.fields(config):
-            value = getattr(config, field.name)
-            if isinstance(value, (set, frozenset)):
-                rendered = "{" + ", ".join(sorted(repr(item) for item in value)) + "}"
-            else:
-                rendered = repr(value)
-            parts.append(f"{field.name}={rendered}")
-        return f"{type(self.miner).__qualname__}({', '.join(parts)})"
+        return miner_config_token(self.miner)
 
     def _load_persisted_cache(self) -> bool:
         """Adopt a persisted record cache when it matches store + config.
@@ -280,9 +268,7 @@ class IncrementalMiner:
             "records": self._cache,
         }
         path.parent.mkdir(parents=True, exist_ok=True)
-        temporary = path.with_suffix(path.suffix + ".tmp")
-        temporary.write_bytes(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
-        os.replace(temporary, path)
+        atomic_write_bytes(path, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
 
     def refresh(self, backend: Optional[ExecutionBackend] = None) -> Tuple[Any, RefreshReport]:
         """Bring the mining result up to date with the store.

@@ -13,14 +13,24 @@ A :class:`TraceStore` is a directory holding two files:
   chained SHA-256 content fingerprint.
 
 Appends are batch-granular and atomic at the manifest level: the payload is
-appended to the data file first, then the manifest is replaced via a
-temporary file, so a crash between the two leaves a manifest that simply
-does not know about the trailing bytes (and :meth:`TraceStore.open`
-tolerates exactly that).  Nothing is ever rewritten in place — the store
-is the durable substrate under streaming ingestion and incremental mining,
-and its fingerprint history is how downstream artifacts (specification
-repositories, benchmark records) say *which* corpus they were computed
-from.
+appended to the data file and fsynced first, then the manifest is replaced
+atomically and durably (write temporary, fsync, rename, fsync the
+directory — :func:`repro.durability.journal.atomic_write_text`), so a
+crash between the two leaves a manifest that simply does not know about
+the trailing bytes (and :meth:`TraceStore.open` tolerates exactly that).
+Nothing is ever rewritten in place — the store is the durable substrate
+under streaming ingestion and incremental mining, and its fingerprint
+history is how downstream artifacts (specification repositories, benchmark
+records) say *which* corpus they were computed from.
+
+The one sanctioned rewrite is :meth:`TraceStore.compact`
+(:mod:`repro.durability.compact`): batches tombstoned by
+:meth:`TraceStore.mark_deleted` are dropped, unreferenced vocabulary
+labels garbage-collected, and the store re-rooted into a fresh fingerprint
+lineage whose manifest records ``compacted_from`` — the provenance link
+that tells caches and checkpoints their state belongs to the old lineage.
+:mod:`repro.durability.fsck` is the auditor that re-verifies all of the
+above on demand (``repro fsck``).
 """
 
 from __future__ import annotations
@@ -35,6 +45,7 @@ from typing import Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tup
 from ..core.errors import DataFormatError
 from ..core.events import EventId, EventVocabulary
 from ..core.sequence import SequenceDatabase
+from ..durability.journal import atomic_write_text
 from ..testing import faults
 from .formats import EncodedTrace, TraceRecord, stream_traces
 
@@ -48,7 +59,15 @@ _HEADER = struct.Struct("<II")  # name byte-length + 1 (0 = unnamed), event coun
 
 
 class BatchInfo(NamedTuple):
-    """Manifest entry for one appended batch."""
+    """Manifest entry for one appended batch.
+
+    ``source`` is optional ingest provenance (``{"path": ..., "sha256":
+    ...}`` for file ingests) committed atomically with the batch — it is
+    how a crashed multi-file ingest can be re-run without duplicating the
+    files that already committed.  ``deleted`` is the tombstone set by
+    :meth:`TraceStore.mark_deleted`; reads still include tombstoned
+    batches until :meth:`TraceStore.compact` rewrites the store.
+    """
 
     index: int
     offset: int
@@ -57,9 +76,11 @@ class BatchInfo(NamedTuple):
     events: int
     alphabet: Tuple[EventId, ...]
     fingerprint: str
+    deleted: bool = False
+    source: Optional[dict] = None
 
     def as_dict(self) -> dict:
-        return {
+        payload = {
             "index": self.index,
             "offset": self.offset,
             "nbytes": self.nbytes,
@@ -68,6 +89,11 @@ class BatchInfo(NamedTuple):
             "alphabet": list(self.alphabet),
             "fingerprint": self.fingerprint,
         }
+        if self.deleted:
+            payload["deleted"] = True
+        if self.source is not None:
+            payload["source"] = dict(self.source)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "BatchInfo":
@@ -79,6 +105,8 @@ class BatchInfo(NamedTuple):
             events=int(payload["events"]),
             alphabet=tuple(int(event) for event in payload["alphabet"]),
             fingerprint=str(payload["fingerprint"]),
+            deleted=bool(payload.get("deleted", False)),
+            source=payload.get("source"),
         )
 
 
@@ -146,6 +174,17 @@ class TraceStore:
         self.directory = Path(directory)
         self.vocabulary = EventVocabulary()
         self.batches: List[BatchInfo] = []
+        #: Name of the data file inside the directory.  ``traces.bin`` for
+        #: generation 0; compaction writes a new generation-named file and
+        #: repoints the manifest (see :mod:`repro.durability.compact`).
+        self.data_file = DATA_NAME
+        #: Incremented by every compaction; part of the new data file name.
+        self.generation = 0
+        #: The final fingerprint of the lineage this store was compacted
+        #: from, or ``None`` for a never-compacted store.  Downstream
+        #: caches treat a fingerprint from the old lineage as invalid,
+        #: forcing one full re-mine after compaction.
+        self.compacted_from: Optional[str] = None
         manifest = self.directory / MANIFEST_NAME
         if manifest.exists():
             self._load_manifest(manifest)
@@ -164,63 +203,78 @@ class TraceStore:
     # Appending
     # ------------------------------------------------------------------ #
     def append_batch(
-        self, traces: Iterable[Union[TraceRecord, EncodedTrace, Sequence]]
+        self,
+        traces: Iterable[Union[TraceRecord, EncodedTrace, Sequence]],
+        *,
+        source: Optional[dict] = None,
     ) -> BatchInfo:
         """Append one batch of traces and return its manifest entry.
 
         Accepts label records (:class:`TraceRecord`, or any plain sequence
         of labels) — interned through the store vocabulary — and
         already-interned :class:`EncodedTrace` values, which must have been
-        encoded against this store's vocabulary.
+        encoded against this store's vocabulary.  ``source`` is optional
+        provenance recorded in the batch's manifest entry.
 
         The append is atomic at the batch level: the manifest is replaced
         only after the whole batch streamed to disk, so a source that
-        raises mid-iteration commits nothing (its partial bytes are torn
-        trailing data the next append overwrites, and labels it interned
-        are rolled back).
+        raises mid-iteration — or a manifest replace that fails —
+        commits nothing (partial bytes are torn trailing data the next
+        append overwrites; interned labels and the in-memory batch list
+        roll back).
         """
+        checkpoint = len(self.batches)
         vocabulary_checkpoint = len(self.vocabulary)
         try:
-            batch = self._append_batch_unsaved(traces)
+            batch = self._append_batch_unsaved(traces, source=source)
+            self._save_manifest()
         except BaseException:
+            del self.batches[checkpoint:]
             self.vocabulary.truncate(vocabulary_checkpoint)
             raise
-        self._save_manifest()
         return batch
 
     def append_batches(
-        self, batches: Iterable[Iterable[Union[TraceRecord, EncodedTrace, Sequence]]]
+        self,
+        batches: Iterable[Iterable[Union[TraceRecord, EncodedTrace, Sequence]]],
+        *,
+        source: Optional[dict] = None,
     ) -> List[BatchInfo]:
         """Append several batches, committing the manifest once at the end.
 
-        All-or-nothing across the whole iterable: if any batch fails, the
-        in-memory batch list rolls back and the on-disk manifest is left
-        untouched, so a re-run after fixing the input cannot duplicate the
-        earlier batches.  Committing once also keeps a large chunked
-        ingest linear — the manifest is not rewritten per chunk.  Batches
-        that turn out empty are skipped entirely: a zero-trace append must
-        not advance the content fingerprint (an identical corpus must
-        fingerprint identically however it arrived).
+        All-or-nothing across the whole iterable: if any batch (or the
+        final manifest replace) fails, the in-memory state rolls back and
+        the on-disk manifest is left untouched, so a re-run after fixing
+        the input cannot duplicate the earlier batches.  Committing once
+        also keeps a large chunked ingest linear — the manifest is not
+        rewritten per chunk.  Batches that turn out empty are skipped
+        entirely: a zero-trace append must not advance the content
+        fingerprint (an identical corpus must fingerprint identically
+        however it arrived).  ``source`` provenance, if given, is recorded
+        on every batch of this call.
         """
         checkpoint = len(self.batches)
         vocabulary_checkpoint = len(self.vocabulary)
         infos: List[BatchInfo] = []
         try:
             for batch in batches:
-                info = self._append_batch_unsaved(batch)
+                info = self._append_batch_unsaved(batch, source=source)
                 if info.traces == 0:
                     self.batches.pop()
                     continue
                 infos.append(info)
+            self._save_manifest()
         except BaseException:
             del self.batches[checkpoint:]
             self.vocabulary.truncate(vocabulary_checkpoint)
             raise
-        self._save_manifest()
         return infos
 
     def _append_batch_unsaved(
-        self, traces: Iterable[Union[TraceRecord, EncodedTrace, Sequence]]
+        self,
+        traces: Iterable[Union[TraceRecord, EncodedTrace, Sequence]],
+        *,
+        source: Optional[dict] = None,
     ) -> BatchInfo:
         """Stream one batch to the data file; the caller saves the manifest."""
         if faults.ACTIVE is not None:
@@ -266,6 +320,11 @@ class TraceStore:
                 events_count += len(encoded)
                 alphabet.update(encoded)
             handle.truncate()
+            # The payload must be durable before any manifest names it:
+            # otherwise a power loss after the (fsynced) manifest rename
+            # could surface a manifest promising bytes the disk never got.
+            handle.flush()
+            os.fsync(handle.fileno())
 
         previous = self.batches[-1].fingerprint if self.batches else ""
         fingerprint = hashlib.sha256(
@@ -279,6 +338,7 @@ class TraceStore:
             events=events_count,
             alphabet=tuple(sorted(alphabet)),
             fingerprint=fingerprint,
+            source=source,
         )
         self.batches.append(batch)
         return batch
@@ -310,6 +370,55 @@ class TraceStore:
         Atomic per file: a parse error anywhere in the file commits
         nothing (see :meth:`append_batch`)."""
         return self.append_batch(stream_traces(path, format=format))
+
+    def has_source(self, source: dict) -> bool:
+        """Whether any committed batch carries this ``source`` provenance.
+
+        The ingest CLI's crash-resume check: a file whose identity already
+        appears in the manifest was fully committed by an earlier run and
+        must not be appended again.
+        """
+        return any(batch.source == source for batch in self.batches)
+
+    # ------------------------------------------------------------------ #
+    # Deletion and compaction
+    # ------------------------------------------------------------------ #
+    def mark_deleted(self, indices: Iterable[int]) -> int:
+        """Tombstone batches for the next :meth:`compact`.
+
+        Deletion is deliberately deferred: reads (and the fingerprint
+        chain, and every cache keyed on it) still include tombstoned
+        batches, so marking is cheap and safe at any time.  The space and
+        the dead vocabulary labels are reclaimed by :meth:`compact`,
+        which re-roots the lineage.  Returns how many batches changed
+        state; unknown indices raise :class:`DataFormatError`.
+        """
+        targets = set(int(index) for index in indices)
+        unknown = targets - {batch.index for batch in self.batches}
+        if unknown:
+            raise DataFormatError(
+                f"cannot delete unknown batch indices {sorted(unknown)} "
+                f"(store has {len(self.batches)} batches)"
+            )
+        changed = 0
+        for position, batch in enumerate(self.batches):
+            if batch.index in targets and not batch.deleted:
+                self.batches[position] = batch._replace(deleted=True)
+                changed += 1
+        if changed:
+            self._save_manifest()
+        return changed
+
+    def compact(self):
+        """Rewrite the store dropping tombstoned batches and dead labels.
+
+        Delegates to :func:`repro.durability.compact.compact_store`; see
+        there for the crash-safety argument.  Returns a
+        :class:`~repro.durability.compact.CompactionReport`.
+        """
+        from ..durability.compact import compact_store
+
+        return compact_store(self)
 
     # ------------------------------------------------------------------ #
     # Reading
@@ -370,10 +479,12 @@ class TraceStore:
         return {
             "directory": str(self.directory),
             "batches": len(self.batches),
+            "deleted_batches": sum(1 for batch in self.batches if batch.deleted),
             "traces": len(self),
             "events": self.total_events(),
             "distinct_events": len(self.vocabulary),
             "bytes": self._data_size(),
+            "generation": self.generation,
             "fingerprint": self.fingerprint,
         }
 
@@ -382,7 +493,7 @@ class TraceStore:
     # ------------------------------------------------------------------ #
     @property
     def data_path(self) -> Path:
-        return self.directory / DATA_NAME
+        return self.directory / self.data_file
 
     @property
     def manifest_path(self) -> Path:
@@ -403,6 +514,9 @@ class TraceStore:
             raise DataFormatError(f"unsupported store manifest version in {manifest}")
         self.vocabulary = EventVocabulary(payload.get("labels", []))
         self.batches = [BatchInfo.from_dict(entry) for entry in payload.get("batches", [])]
+        self.data_file = str(payload.get("data_file", DATA_NAME))
+        self.generation = int(payload.get("generation", 0))
+        self.compacted_from = payload.get("compacted_from")
         expected = self._data_size()
         actual = self.data_path.stat().st_size if self.data_path.exists() else 0
         # Trailing bytes beyond the manifest are a torn append and ignored;
@@ -414,11 +528,21 @@ class TraceStore:
             )
 
     def _save_manifest(self) -> None:
+        if faults.ACTIVE is not None:
+            # Chaos hook (tests/faults/): the manifest replace failing or
+            # the process dying between the data append and the commit.
+            # Keyed by the batch count being committed, so tests can
+            # target "the commit after the Nth batch".
+            faults.trigger("store.manifest", key=str(len(self.batches)))
         payload = {
             "version": MANIFEST_VERSION,
             "labels": list(self.vocabulary.labels()),
             "batches": [batch.as_dict() for batch in self.batches],
         }
-        temporary = self.manifest_path.with_suffix(".json.tmp")
-        temporary.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-        os.replace(temporary, self.manifest_path)
+        if self.data_file != DATA_NAME:
+            payload["data_file"] = self.data_file
+        if self.generation:
+            payload["generation"] = self.generation
+        if self.compacted_from is not None:
+            payload["compacted_from"] = self.compacted_from
+        atomic_write_text(self.manifest_path, json.dumps(payload, indent=2) + "\n")

@@ -46,13 +46,13 @@ from __future__ import annotations
 
 import gzip
 import json
-import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..core.errors import DataFormatError
+from ..durability.journal import atomic_write_text
 from ..engine import ExecutionBackend
 from ..ingest.formats import format_for_path
 from ..ingest.incremental import IncrementalMiner, RefreshReport
@@ -261,9 +261,10 @@ class WatchDaemon:
                 "total_failures": self.cycle_failures,
                 "next_backoff_seconds": self.current_backoff,
             }
-        temporary = self._state_path.with_suffix(".json.tmp")
-        temporary.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-        os.replace(temporary, self._state_path)
+        # Durable (fsynced) atomic replace: the state file is the record
+        # of which files are already in the store — losing it to a power
+        # failure would re-ingest everything on the next boot.
+        atomic_write_text(self._state_path, json.dumps(payload, indent=2) + "\n")
 
     # ------------------------------------------------------------------ #
     # Directory tailing

@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Optional, Union
 
 from ..core.errors import DataFormatError
 from ..core.events import EventLabel
+from ..durability.journal import atomic_write_text
 from ..patterns.result import MinedPattern, PatternMiningResult
 from ..rules.result import RuleMiningResult
 from ..rules.rule import RecurrentRule
@@ -167,8 +168,13 @@ class SpecificationRepository:
         return payload
 
     def save(self, path: PathLike) -> None:
-        """Write the repository to a JSON file."""
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2), encoding="utf-8")
+        """Write the repository to a JSON file, atomically and durably.
+
+        Repositories are served from (and hot-swapped under a running
+        daemon), so a crashed save must leave either the previous file or
+        the new one — never a truncated mixture.
+        """
+        atomic_write_text(Path(path), json.dumps(self.to_dict(), indent=2))
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "SpecificationRepository":

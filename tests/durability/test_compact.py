@@ -1,0 +1,130 @@
+"""Compaction: tombstones, vocabulary GC, lineage re-root, crash safety."""
+
+import pytest
+
+from repro.core.errors import DataFormatError
+from repro.durability.fsck import EXIT_CLEAN, EXIT_REPAIRED, audit_store
+from repro.ingest.incremental import IncrementalMiner
+from repro.ingest.store import TraceStore
+from repro.patterns.closed_miner import ClosedIterativePatternMiner
+from repro.patterns.config import IterativeMiningConfig
+from repro.testing import faults
+
+
+def skewed_store(path):
+    """Three batches where batch 1 holds nearly all bytes and the only
+    traces using the 'bulk' labels — deleting it makes GC observable."""
+    store = TraceStore(path)
+    store.append_batch([["lock", "use", "unlock"]])
+    store.append_batch([["bulk%d" % (i % 7) for i in range(50)] for _ in range(40)])
+    store.append_batch([["lock", "unlock"], ["lock", "use", "use", "unlock"]])
+    return store
+
+
+def test_compact_drops_tombstones_and_gcs_labels(tmp_path):
+    store = skewed_store(tmp_path / "store")
+    survivors = [
+        trace
+        for batch in (0, 2)
+        for trace in store.iter_traces(batch, batch + 1)
+    ]
+    old_fingerprint = store.fingerprint
+    old_bytes = store.describe()["bytes"]
+    assert store.mark_deleted([1]) == 1
+
+    report = store.compact()
+    assert report.batches_after == 2
+    assert report.bytes_after < old_bytes // 10
+    assert report.labels_before == 10 and report.labels_after == 3
+    assert report.generation == 1
+    assert report.compacted_from == old_fingerprint
+    assert store.vocabulary.labels() == ("lock", "use", "unlock")
+    # Surviving traces decode to the same label sequences, renumbered.
+    assert [
+        tuple(store.vocabulary.label_of(e) for e in trace.events)
+        for trace in store.iter_traces()
+    ] == [
+        tuple("lock use unlock".split()),
+        tuple("lock unlock".split()),
+        tuple("lock use use unlock".split()),
+    ] and len(survivors) == 3
+    assert audit_store(tmp_path / "store").exit_code == EXIT_CLEAN
+
+
+def test_compacted_store_reopens_and_appends(tmp_path):
+    store = skewed_store(tmp_path / "store")
+    store.mark_deleted([1])
+    store.compact()
+    reopened = TraceStore.open(tmp_path / "store")
+    assert reopened.fingerprint == store.fingerprint
+    assert reopened.generation == 1
+    assert reopened.compacted_from is not None
+    assert reopened.data_file == "traces-gen1.bin"
+    reopened.append_batch([["lock", "unlock"]])
+    assert len(reopened) == 4
+    assert audit_store(tmp_path / "store").exit_code == EXIT_CLEAN
+
+
+def test_compact_forces_full_remine(tmp_path):
+    store = skewed_store(tmp_path / "store")
+    miner = ClosedIterativePatternMiner(IterativeMiningConfig(min_support=2.0))
+    incremental = IncrementalMiner(miner, store, persist=True)
+    incremental.refresh()
+    store.mark_deleted([1])
+    store.compact()
+    # The old lineage's persisted cache was dropped with the compaction;
+    # a fresh incremental miner over the new lineage starts cold.
+    fresh = IncrementalMiner(miner, TraceStore.open(tmp_path / "store"), persist=True)
+    result, report = fresh.refresh()
+    assert report.full_remine
+    expected = miner.mine(TraceStore.open(tmp_path / "store").snapshot())
+    assert result.as_rows() == expected.as_rows()
+
+
+def test_mark_deleted_validates_indices(tmp_path):
+    store = skewed_store(tmp_path / "store")
+    with pytest.raises(DataFormatError):
+        store.mark_deleted([7])
+    # Tombstones persist across reopen without affecting reads until compact.
+    store.mark_deleted([1])
+    reopened = TraceStore.open(tmp_path / "store")
+    assert [batch.deleted for batch in reopened.batches] == [False, True, False]
+    assert len(reopened) == 43
+
+
+def test_crash_at_swap_leaves_old_store_valid(tmp_path):
+    store = skewed_store(tmp_path / "store")
+    fingerprint = store.fingerprint
+    store.mark_deleted([1])
+    faults.install("compact.swap", "raise")
+    try:
+        with pytest.raises(faults.FaultInjected):
+            store.compact()
+    finally:
+        faults.reset()
+    # Old lineage untouched; the half-written generation is fsck debris.
+    reopened = TraceStore.open(tmp_path / "store")
+    assert reopened.fingerprint == fingerprint
+    assert reopened.generation == 0
+    report = audit_store(tmp_path / "store")
+    assert report.exit_code in (EXIT_CLEAN, EXIT_REPAIRED)
+    assert audit_store(tmp_path / "store").exit_code == EXIT_CLEAN
+
+
+def test_manifest_failure_during_swap_rolls_back_memory(tmp_path):
+    store = skewed_store(tmp_path / "store")
+    fingerprint = store.fingerprint
+    store.mark_deleted([1])
+    faults.install("store.manifest", "enospc")
+    try:
+        with pytest.raises(OSError):
+            store.compact()
+    finally:
+        faults.reset()
+    # The in-memory store still describes the old lineage and stays usable.
+    assert store.fingerprint == fingerprint
+    assert store.generation == 0
+    assert store.data_file == "traces.bin"
+    store.compact()
+    assert store.generation == 1
+    assert audit_store(tmp_path / "store").exit_code == EXIT_CLEAN

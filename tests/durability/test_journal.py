@@ -1,0 +1,95 @@
+"""CRC-framed journal: round-trip, torn tails, reopen semantics."""
+
+import struct
+import zlib
+
+from repro.durability.journal import (
+    FRAME_HEADER,
+    JournalWriter,
+    atomic_write_bytes,
+    atomic_write_text,
+    read_frames,
+)
+
+
+def test_round_trip(tmp_path):
+    path = tmp_path / "j.bin"
+    with JournalWriter(path) as writer:
+        writer.append(b"alpha")
+        writer.append(b"")
+        writer.append(b"x" * 10_000)
+    payloads, valid = read_frames(path)
+    assert payloads == [b"alpha", b"", b"x" * 10_000]
+    assert valid == path.stat().st_size
+
+
+def test_missing_file_reads_empty(tmp_path):
+    payloads, valid = read_frames(tmp_path / "absent.bin")
+    assert payloads == []
+    assert valid == 0
+
+
+def test_torn_header_stops_reader(tmp_path):
+    path = tmp_path / "j.bin"
+    with JournalWriter(path) as writer:
+        writer.append(b"keep")
+    good = path.stat().st_size
+    with open(path, "ab") as handle:
+        handle.write(FRAME_HEADER.pack(100, 0)[:5])  # half a header
+    payloads, valid = read_frames(path)
+    assert payloads == [b"keep"]
+    assert valid == good
+
+
+def test_torn_payload_stops_reader(tmp_path):
+    path = tmp_path / "j.bin"
+    with JournalWriter(path) as writer:
+        writer.append(b"keep")
+    good = path.stat().st_size
+    with open(path, "ab") as handle:
+        handle.write(FRAME_HEADER.pack(32, zlib.crc32(b"y" * 32)))
+        handle.write(b"y" * 10)  # payload cut short
+    payloads, valid = read_frames(path)
+    assert payloads == [b"keep"]
+    assert valid == good
+
+
+def test_crc_mismatch_stops_reader(tmp_path):
+    path = tmp_path / "j.bin"
+    with JournalWriter(path) as writer:
+        writer.append(b"keep")
+        writer.append(b"flipped")
+    with open(path, "r+b") as handle:
+        handle.seek(-1, 2)
+        last = handle.read(1)
+        handle.seek(-1, 2)
+        handle.write(bytes([last[0] ^ 0xFF]))
+    payloads, _ = read_frames(path)
+    assert payloads == [b"keep"]
+
+
+def test_reopen_truncates_torn_tail_and_appends(tmp_path):
+    path = tmp_path / "j.bin"
+    with JournalWriter(path) as writer:
+        writer.append(b"one")
+    with open(path, "ab") as handle:
+        handle.write(b"\x07\x00")  # torn header fragment
+    with JournalWriter(path) as writer:
+        assert writer.entries == 1
+        writer.append(b"two")
+    payloads, valid = read_frames(path)
+    assert payloads == [b"one", b"two"]
+    assert valid == path.stat().st_size
+
+
+def test_header_size_matches_struct():
+    assert FRAME_HEADER.size == struct.calcsize("<II")
+
+
+def test_atomic_writes_leave_no_temp_files(tmp_path):
+    target = tmp_path / "out.json"
+    atomic_write_text(target, "{}\n")
+    assert target.read_text() == "{}\n"
+    atomic_write_bytes(target, b"\x00\x01")
+    assert target.read_bytes() == b"\x00\x01"
+    assert list(tmp_path.glob("*.tmp")) == []

@@ -189,3 +189,39 @@ def test_manifest_is_json_with_version(tmp_path):
     assert len(payload["batches"]) == 1
     description = store.describe()
     assert description["traces"] == 1 and description["batches"] == 1
+
+def test_manifest_write_failure_rolls_back_the_append(tmp_path):
+    """The store.manifest fault point: an ENOSPC between writing the batch
+    payload and replacing the manifest must leave memory and disk agreed
+    on the pre-append state (and the next append must succeed)."""
+    from repro.testing import faults
+
+    store = TraceStore(tmp_path / "store")
+    store.append_batch([["a", "b"]])
+    fingerprint = store.fingerprint
+    faults.install("store.manifest", "enospc")
+    try:
+        with pytest.raises(OSError):
+            store.append_batch([["b", "c", "d"]])
+    finally:
+        faults.reset()
+    assert len(store.batches) == 1 and store.fingerprint == fingerprint
+    assert store.vocabulary.labels() == ("a", "b")
+    assert len(TraceStore.open(tmp_path / "store").batches) == 1
+    # The rolled-back store keeps working, in memory and on disk.
+    info = store.append_batch([["b", "c"]])
+    assert info.index == 1
+    assert TraceStore.open(tmp_path / "store").vocabulary.labels() == ("a", "b", "c")
+
+
+def test_batch_source_round_trips_and_is_queryable(tmp_path):
+    store = TraceStore(tmp_path / "store")
+    source = {"path": "/inputs/run1.txt", "sha256": "ab" * 32}
+    store.append_batches([[["a", "b"]]], source=source)
+    store.append_batch([["b", "c"]])
+    assert store.has_source(source)
+    assert not store.has_source({"path": "/inputs/run2.txt", "sha256": "cd" * 32})
+    reopened = TraceStore.open(tmp_path / "store")
+    assert reopened.has_source(source)
+    assert reopened.batches[0].source == source
+    assert reopened.batches[1].source is None
