@@ -20,7 +20,15 @@ Sub-commands cover the full workflow of the paper:
   (``--push-port`` additionally hosts the event-push socket front end);
 * ``serve``        — the network serving plane alone: load a specification
   repository and serve live pushed sessions over TCP through a sharded
-  monitor pool (see ``docs/serving.md`` for the wire protocol).
+  monitor pool (see ``docs/serving.md`` for the wire protocol);
+* ``metrics``      — scrape a running ``serve``/``watch --push-port`` box's
+  metrics registry over the wire ``METRICS`` verb and print the
+  Prometheus text exposition (see ``docs/observability.md``).
+
+The mining and serving commands accept ``--trace-out FILE``: spans
+recording where each run's wall-clock went (per shard, per daemon cycle,
+per refresh) are appended to the file as JSON lines;
+``tools/trace_summary.py`` prints the per-phase breakdown.
 
 Every command reads and writes the trace formats of :mod:`repro.traces.io`
 (text / jsonl / csv, each with a transparent ``.gz`` variant) and prints
@@ -70,9 +78,10 @@ from .ingest.formats import (
 )
 from .ingest.incremental import IncrementalMiner
 from .ingest.store import TraceStore
+from .obs import tracing
 from .serving.daemon import WatchDaemon
 from .serving.pool import MonitorPool
-from .serving.server import EventPushServer
+from .serving.server import EventPushServer, ProtocolError, PushClient
 from .serving.stream_monitor import StreamingMonitor
 from .specs.repository import SpecificationRepository
 from .traces.io import read_traces, write_traces
@@ -134,6 +143,7 @@ def _build_parser() -> argparse.ArgumentParser:
     patterns.add_argument("--save", default=None, help="save results to a JSON repository")
     _add_engine_arguments(patterns)
     _add_checkpoint_argument(patterns)
+    _add_trace_argument(patterns)
 
     rules = subparsers.add_parser("mine-rules", help="mine recurrent rules")
     _add_source_arguments(rules)
@@ -147,6 +157,7 @@ def _build_parser() -> argparse.ArgumentParser:
     rules.add_argument("--save", default=None, help="save results to a JSON repository")
     _add_engine_arguments(rules)
     _add_checkpoint_argument(rules)
+    _add_trace_argument(rules)
 
     fsck = subparsers.add_parser(
         "fsck",
@@ -229,6 +240,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "(0 = ephemeral; the bound address is printed on stderr)",
     )
     _add_engine_arguments(watch)
+    _add_trace_argument(watch)
 
     serve = subparsers.add_parser(
         "serve",
@@ -260,6 +272,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--max-violations", type=int, default=10, help="violations to print at shutdown"
+    )
+    _add_trace_argument(serve)
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="scrape a running serve/watch box's metrics registry and "
+        "print the Prometheus text exposition",
+    )
+    metrics.add_argument("--host", default="127.0.0.1", help="server host (default 127.0.0.1)")
+    metrics.add_argument(
+        "--port", type=_positive_int, default=7311, help="server port (default 7311)"
+    )
+    metrics.add_argument(
+        "--timeout", type=float, default=10.0, help="socket timeout in seconds (default 10)"
     )
 
     return parser
@@ -425,6 +451,16 @@ def _resolve_backend_or_none(args: argparse.Namespace) -> Optional[ExecutionBack
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
         return None
+
+
+def _add_trace_argument(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="append timing spans (one JSON object per line) to this file; "
+        "summarise with tools/trace_summary.py",
+    )
 
 
 def _add_checkpoint_argument(subparser: argparse.ArgumentParser) -> None:
@@ -826,6 +862,19 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_metrics(args: argparse.Namespace) -> int:
+    try:
+        with PushClient(args.host, args.port, timeout=args.timeout) as client:
+            text = client.metrics()
+    except (OSError, ProtocolError) as error:
+        print(f"error: {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 2
+    # The raw text exposition, ready to pipe into a file or a Prometheus
+    # textfile collector.
+    print(text, end="")
+    return 0
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "jboss": _command_jboss,
@@ -837,6 +886,7 @@ _COMMANDS = {
     "monitor": _command_monitor,
     "watch": _command_watch,
     "serve": _command_serve,
+    "metrics": _command_metrics,
 }
 
 
@@ -844,7 +894,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``repro-mine`` console script."""
     parser = _build_parser()
     args = parser.parse_args(argv)
-    return _COMMANDS[args.command](args)
+    if getattr(args, "trace_out", None):
+        # One collector for the whole command; every span below (engine
+        # shards, daemon cycles, server dispatch) lands in the file.
+        tracing.install(args.trace_out)
+    try:
+        return _COMMANDS[args.command](args)
+    finally:
+        tracing.reset()
 
 
 if __name__ == "__main__":  # pragma: no cover

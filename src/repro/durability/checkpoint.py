@@ -44,6 +44,7 @@ import pickle
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
+from ..obs import metrics as obs_metrics
 from .journal import JournalWriter, atomic_write_text, read_frames
 
 PathLike = Union[str, Path]
@@ -229,6 +230,8 @@ class MiningCheckpoint:
                 stack.extend(reversed(children))
             else:
                 remaining.append(unit)
+        if cached:
+            obs_metrics.DURABILITY_RESUMED_TOTAL.inc(len(cached), kind="unit")
         return cached, remaining
 
     def completed_shards(self) -> Dict[tuple, Any]:

@@ -28,6 +28,7 @@ import zlib
 from pathlib import Path
 from typing import List, Tuple, Union
 
+from ..obs import metrics as obs_metrics
 from ..testing import faults
 
 PathLike = Union[str, Path]
@@ -157,7 +158,9 @@ class JournalWriter:
         if self._since_fsync >= self._fsync_interval:
             os.fsync(self._handle.fileno())
             self._since_fsync = 0
+            obs_metrics.DURABILITY_JOURNAL_FSYNCS_TOTAL.inc()
         self.entries += 1
+        obs_metrics.DURABILITY_JOURNAL_APPENDS_TOTAL.inc()
         if faults.ACTIVE is not None:
             # Chaos hook after the flush: the frame is fully in the OS, so
             # a kill here must leave a journal that replays including it.
@@ -168,6 +171,7 @@ class JournalWriter:
             return
         try:
             fsync_file(self._handle)
+            obs_metrics.DURABILITY_JOURNAL_FSYNCS_TOTAL.inc()
         finally:
             self._handle.close()
 

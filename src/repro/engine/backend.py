@@ -31,6 +31,8 @@ from typing import Any, Dict, List, Optional, Sequence as TypingSequence, Tuple
 
 from ..core.errors import ConfigurationError, ExecutionFault
 from ..core.stats import MiningStats
+from ..obs import metrics as obs_metrics
+from ..obs import tracing
 from ..testing import faults
 from .runner import ShardRunner
 from .sharding import Shard, ShardOutcome, merge_outcomes, plan_shards
@@ -87,6 +89,22 @@ class ExecutionBackend:
     checkpoint = None
 
     def execute(self, runner: ShardRunner) -> Tuple[List[Any], MiningStats]:
+        """Run the whole pipeline and publish the run's observability data.
+
+        The search itself lives in :meth:`_execute` (overridden by
+        backends with their own scheduling discipline); this wrapper owns
+        the single per-run touch point with :mod:`repro.obs` — the span
+        around the run and the one-shot mirror of the final merged
+        ``MiningStats`` onto registry counters.  Mirroring here, after all
+        per-shard/per-unit stats merged, is what keeps the registry free
+        of double counting on any backend.
+        """
+        with tracing.span("engine.execute", backend=self.name):
+            records, stats = self._execute(runner)
+        obs_metrics.record_mining_stats(stats, self.name)
+        return records, stats
+
+    def _execute(self, runner: ShardRunner) -> Tuple[List[Any], MiningStats]:
         """Plan, execute and merge the search; return (records, counters)."""
         plan = runner.plan()
         if not plan.roots:
@@ -102,9 +120,11 @@ class ExecutionBackend:
             pending = [s for s in shards if tuple(s.roots) not in done]
         outcomes = self.map_shards(runner, pending) if pending else []
         records, stats = merge_outcomes(cached + outcomes)
+        obs_metrics.merge_outcome_metrics(cached + outcomes)
         stats.pruned_support += plan.pruned_support
         if cached:
             stats.bump("shards_resumed", len(cached))
+            obs_metrics.DURABILITY_RESUMED_TOTAL.inc(len(cached), kind="shard")
         return records, stats
 
     def _record_shard(self, shard: Shard, outcome: ShardOutcome) -> None:
@@ -152,7 +172,8 @@ class SerialBackend(ExecutionBackend):
         runner.setup()
         outcomes = []
         for shard in shards:
-            outcome = runner.run_shard(shard)
+            with tracing.span("engine.shard", index=shard.index, roots=len(shard.roots)):
+                outcome = runner.run_shard(shard)
             self._record_shard(shard, outcome)
             outcomes.append(outcome)
         return outcomes
@@ -197,9 +218,9 @@ class ProcessPoolBackend(ExecutionBackend):
     def shard_count(self, num_roots: int) -> int:
         return max(1, min(num_roots, self.workers * self.oversubscription))
 
-    def execute(self, runner: ShardRunner) -> Tuple[List[Any], MiningStats]:
+    def _execute(self, runner: ShardRunner) -> Tuple[List[Any], MiningStats]:
         self._recovery_counters = {}
-        records, stats = super().execute(runner)
+        records, stats = super()._execute(runner)
         for name, amount in self._recovery_counters.items():
             stats.bump(name, amount)
         return records, stats

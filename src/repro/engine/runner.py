@@ -36,11 +36,13 @@ shipping bulky indexes over the wire.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, List, Mapping, Optional, Sequence as TypingSequence, Tuple
 
 from ..core.events import EncodedDatabase, EventId
 from ..core.positions import PositionIndex
 from ..core.stats import MiningStats
+from ..obs import metrics as obs_metrics
 from .sharding import PlanResult, RootResult, Shard, ShardOutcome, UnitOutcome, WorkUnit
 
 
@@ -152,6 +154,7 @@ class ShardRunner:
         serial backend so the number is comparable across backends).
         """
         context = self._ensure_context()
+        started = time.perf_counter()
         stats = MiningStats()
         root_results: List[RootResult] = []
         for root in shard.roots:
@@ -159,7 +162,12 @@ class ShardRunner:
             for record in records:
                 stats.shipped_bytes += _record_payload_bytes(record)
             root_results.append(RootResult(root, records))
-        return ShardOutcome(shard.index, tuple(root_results), stats)
+        delta = (
+            obs_metrics.shard_observation(time.perf_counter() - started)
+            if obs_metrics.ENABLED
+            else None
+        )
+        return ShardOutcome(shard.index, tuple(root_results), stats, delta)
 
     # ------------------------------------------------------------------ #
     # Work-stealing unit protocol
@@ -191,11 +199,17 @@ class ShardRunner:
         split-off descendants) without changing the merged output.
         """
         context = self._ensure_context()
+        started = time.perf_counter()
         stats = MiningStats()
         records = tuple(self.miner.mine_unit(context, unit, stats, splitter))
         for record in records:
             stats.shipped_bytes += _record_payload_bytes(record)
-        return UnitOutcome(unit, records, stats)
+        delta = (
+            obs_metrics.unit_observation(unit.kind, time.perf_counter() - started)
+            if obs_metrics.ENABLED
+            else None
+        )
+        return UnitOutcome(unit, records, stats, delta)
 
     def resolve_units(self, outcomes: List[UnitOutcome]) -> List[Any]:
         """Reassemble unit outcomes into canonical serial record order."""

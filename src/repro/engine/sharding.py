@@ -21,7 +21,7 @@ This module owns the two deterministic halves of that contract:
 from __future__ import annotations
 
 import heapq
-from typing import List, NamedTuple, Sequence as TypingSequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence as TypingSequence, Tuple
 
 from ..core.events import EventId
 from ..core.stats import MiningStats
@@ -72,6 +72,10 @@ class UnitOutcome(NamedTuple):
     unit: WorkUnit
     records: Tuple[object, ...]
     stats: MiningStats
+    #: Metrics-registry delta recorded while executing the unit (wall-time
+    #: histogram + unit counter), shipped across the process boundary and
+    #: merged into the coordinator's registry; ``None`` when muted.
+    metrics: Optional[Dict[str, object]] = None
 
 
 class PlanResult(NamedTuple):
@@ -100,6 +104,9 @@ class ShardOutcome(NamedTuple):
     shard_index: int
     root_results: Tuple[RootResult, ...]
     stats: MiningStats
+    #: Metrics-registry delta recorded while executing the shard, merged
+    #: into the coordinator's registry like the stats; ``None`` when muted.
+    metrics: Optional[Dict[str, object]] = None
 
 
 def plan_shards(

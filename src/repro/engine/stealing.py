@@ -60,6 +60,7 @@ from typing import Any, Callable, Dict, List, NamedTuple, Optional, Sequence, Se
 
 from ..core.errors import ConfigurationError, ExecutionFault
 from ..core.stats import MiningStats
+from ..obs import metrics as obs_metrics
 from ..testing import faults
 from .backend import ExecutionBackend
 from .sharding import UnitOutcome, WorkUnit, describe_unit
@@ -735,7 +736,7 @@ class WorkStealingBackend(ExecutionBackend):
         suffix = ", eager" if self.eager_split else ""
         return f"{self.name}[workers={self.workers}, split_depth={self.split_depth}{suffix}]"
 
-    def execute(self, runner: Any) -> Tuple[List[Any], MiningStats]:
+    def _execute(self, runner: Any) -> Tuple[List[Any], MiningStats]:
         units, pruned_support = runner.plan_units()
         stats = MiningStats()
         stats.pruned_support += pruned_support
@@ -759,5 +760,6 @@ class WorkStealingBackend(ExecutionBackend):
         outcomes = cached + outcomes
         for outcome in outcomes:
             stats.merge_counters(outcome.stats)
+        obs_metrics.merge_outcome_metrics(outcomes)
         records = runner.resolve_units(outcomes)
         return records, stats

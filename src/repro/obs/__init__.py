@@ -1,0 +1,56 @@
+"""Unified observability: the metrics registry and span tracing.
+
+Telemetry used to be scattered — ``MiningStats.extra`` dicts, one-shot
+``MonitorPool.stats()`` snapshots, ``watch_state.json`` blobs.  This
+package is the single funnel every layer records into:
+
+* :mod:`repro.obs.metrics` — the process-wide :class:`MetricsRegistry` of
+  labelled counters, gauges, and fixed-bucket histograms; thread-safe,
+  snapshot/merge-able across worker processes (engine workers ship
+  registry deltas inside their shard/unit outcomes, merged
+  deterministically like ``MiningStats``), rendered in the Prometheus
+  text format for the ``METRICS`` wire verb and ``repro metrics``;
+* :mod:`repro.obs.tracing` — lightweight spans
+  (``with span("engine.shard", index=3)``) recording monotonic durations
+  to a bounded ring and optionally a JSONL trace file
+  (``--trace-out``), disarmed at the cost of one attribute check per
+  site, summarised offline by ``tools/trace_summary.py``.
+
+The metric catalogue, span naming scheme, and scrape/trace workflows are
+documented in ``docs/observability.md``.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    enabled,
+    merge_outcome_metrics,
+    record_mining_stats,
+    set_enabled,
+    shard_observation,
+    unit_observation,
+)
+from .tracing import TraceCollector, install as install_tracing, reset as reset_tracing, span
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceCollector",
+    "enabled",
+    "install_tracing",
+    "merge_outcome_metrics",
+    "record_mining_stats",
+    "reset_tracing",
+    "set_enabled",
+    "shard_observation",
+    "span",
+    "unit_observation",
+]

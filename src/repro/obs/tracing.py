@@ -1,0 +1,152 @@
+"""Lightweight span tracing: monotonic timings to a ring and a JSONL file.
+
+Metrics (``repro.obs.metrics``) answer *how much / how fast on average*;
+spans answer *where did this particular run spend its time*.  A span is
+one timed region with a dotted name and free-form attributes::
+
+    from ..obs import tracing
+    ...
+    with tracing.span("engine.shard", index=shard.index):
+        outcome = runner.run_shard(shard)
+
+Tracing follows the ``testing/faults.py`` arming pattern: the module-level
+:data:`ACTIVE` collector is ``None`` unless somebody installed one, and
+:func:`span` returns a shared no-op context manager in that case — so an
+untraced run pays one attribute check per site and the mining hot loops
+stay free (per-event work is deliberately *not* spanned; the finest grain
+is a work unit / request / cycle).
+
+When armed (``--trace-out FILE`` on ``repro mine-patterns`` /
+``mine-rules`` / ``serve`` / ``watch``, or :func:`install` in code), every
+finished span is appended to a bounded in-memory ring (oldest entries
+evicted) and, if a path was given, written as one JSON line::
+
+    {"name": "engine.shard", "ts": 1720000000.123, "dur": 0.0421,
+     "pid": 4242, "attrs": {"index": 3}}
+
+``tools/trace_summary.py`` aggregates such a file into a per-span-name
+breakdown.  The span naming scheme (``layer.phase``) is documented in
+``docs/observability.md``.
+
+Collectors are coordinator-side: engine *worker processes* do not inherit
+an armed collector (spawned workers re-import the module; forked workers
+sharing the parent's file handle would interleave writes), so traces
+describe the orchestrating process — per-unit worker timings travel as
+metrics deltas instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+__all__ = [
+    "ACTIVE",
+    "TraceCollector",
+    "install",
+    "reset",
+    "span",
+]
+
+
+class TraceCollector:
+    """Bounded ring of finished spans, optionally mirrored to a JSONL file."""
+
+    def __init__(self, path: Optional[str] = None, ring_size: int = 4096) -> None:
+        self.path = path
+        self._ring: Deque[Dict[str, object]] = deque(maxlen=max(1, ring_size))
+        self._lock = threading.Lock()
+        self._file = open(path, "a", encoding="utf-8") if path else None
+
+    def record(self, name: str, duration: float, attrs: Dict[str, object]) -> None:
+        entry: Dict[str, object] = {
+            "name": name,
+            "ts": time.time(),
+            "dur": duration,
+            "pid": os.getpid(),
+        }
+        if attrs:
+            entry["attrs"] = attrs
+        with self._lock:
+            self._ring.append(entry)
+            if self._file is not None:
+                self._file.write(json.dumps(entry, sort_keys=True) + "\n")
+                self._file.flush()
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """The ring's current contents, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+
+#: The armed collector, or ``None``:  span sites pay one attribute check.
+ACTIVE: Optional[TraceCollector] = None
+
+
+def install(path: Optional[str] = None, ring_size: int = 4096) -> TraceCollector:
+    """Arm tracing (closing any previous collector) and return the collector."""
+    global ACTIVE
+    if ACTIVE is not None:
+        ACTIVE.close()
+    ACTIVE = TraceCollector(path=path, ring_size=ring_size)
+    return ACTIVE
+
+
+def reset() -> None:
+    """Disarm tracing and close the collector's trace file, if any."""
+    global ACTIVE
+    if ACTIVE is not None:
+        ACTIVE.close()
+        ACTIVE = None
+
+
+class _Span:
+    __slots__ = ("_collector", "_name", "_attrs", "_start")
+
+    def __init__(self, collector: TraceCollector, name: str, attrs: Dict[str, object]) -> None:
+        self._collector = collector
+        self._name = name
+        self._attrs = attrs
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._collector.record(self._name, time.perf_counter() - self._start, self._attrs)
+
+
+class _NoopSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+def span(name: str, **attrs: object):
+    """A context manager timing the enclosed region as span ``name``.
+
+    Free when tracing is disarmed: the shared no-op manager is returned
+    after a single module-attribute check.
+    """
+    collector = ACTIVE
+    if collector is None:
+        return _NOOP
+    return _Span(collector, name, attrs)

@@ -55,6 +55,8 @@ from ..core.errors import DataFormatError
 from ..durability.journal import atomic_write_text
 from ..engine import ExecutionBackend
 from ..ingest.formats import format_for_path
+from ..obs import metrics as obs_metrics
+from ..obs import tracing
 from ..ingest.incremental import IncrementalMiner, RefreshReport
 from ..ingest.store import BatchInfo, TraceStore
 from ..rules.rule import RecurrentRule
@@ -311,6 +313,10 @@ class WatchDaemon:
     # ------------------------------------------------------------------ #
     def run_once(self) -> WatchCycle:
         """Tail → ingest → incremental re-mine → hot-swap → monitor, once."""
+        with tracing.span("daemon.cycle", index=self.cycles_run):
+            return self._run_once()
+
+    def _run_once(self) -> WatchCycle:
         started = time.perf_counter()
         cycle = WatchCycle(index=self.cycles_run)
 
@@ -337,16 +343,22 @@ class WatchDaemon:
         # Re-mine only when something changed — plus once at startup, so a
         # pre-populated store serves immediately.
         if cycle.ingested or self._served_rules is None:
-            result, cycle.refresh = self.incremental.refresh(backend=self.backend)
+            with tracing.span("daemon.refresh", traces=cycle.traces_added):
+                result, cycle.refresh = self.incremental.refresh(backend=self.backend)
             cycle.swapped = self._swap(tuple(result.rules))
 
         if cycle.ingested:
-            cycle.monitoring = self._monitor_new_traces(cycle.ingested)
+            with tracing.span("daemon.monitor", files=len(cycle.ingested)):
+                cycle.monitoring = self._monitor_new_traces(cycle.ingested)
             self.monitoring.merge(cycle.monitoring)
 
         cycle.rules_served = len(self.compiled)
         cycle.elapsed_seconds = time.perf_counter() - started
         self.cycles_run += 1
+        obs_metrics.DAEMON_CYCLE_SECONDS.observe(cycle.elapsed_seconds)
+        obs_metrics.DAEMON_CYCLES_TOTAL.inc(
+            status="ingest" if cycle.ingested else "idle"
+        )
         if self.on_cycle is not None:
             self.on_cycle(cycle)
         return cycle
@@ -383,6 +395,7 @@ class WatchDaemon:
         self.compiled = compile_rules(rules)
         self._served_rules = rules
         self.swaps += 1
+        obs_metrics.DAEMON_SWAPS_TOTAL.inc()
         if self.pool is not None:
             # Push sessions already open finish on their admission
             # generation; new sessions pick up this compile.
@@ -448,6 +461,7 @@ class WatchDaemon:
                 except Exception as error:
                     self.cycle_failures += 1
                     self.consecutive_failures += 1
+                    obs_metrics.DAEMON_CYCLES_TOTAL.inc(status="failed")
                     self.last_error = f"{type(error).__name__}: {error}"
                     delay = min(
                         poll_interval * (2.0 ** self.consecutive_failures), max_backoff

@@ -51,6 +51,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..core.errors import MonitoringError, ServingTimeout, SessionLost
 from ..core.events import EventLabel
+from ..obs import metrics as obs_metrics
 from ..testing import faults
 from ..verification.violations import MonitoringReport
 from .compile import CompiledRuleSet, RuleSource, compile_rules
@@ -217,7 +218,9 @@ class _Shard:
                     for event in events:
                         monitor.feed(event)
                     session.events_fed += len(events)
-                    self.events_processed += len(events)
+                    with self.lock:
+                        self.events_processed += len(events)
+                    obs_metrics.POOL_EVENTS_TOTAL.inc(len(events))
                 else:  # "end"
                     _, session, ticket = item
                     # The trace was opened (named) at admission, so a
@@ -227,6 +230,7 @@ class _Shard:
                     with self.lock:
                         self.closed.append((session.index, report))
                         self.sessions_closed += 1
+                    obs_metrics.POOL_SESSIONS_CLOSED_TOTAL.inc()
                     ticket._resolve(report)
             except BaseException as error:
                 # The shard cannot tell how far the item got, so the
@@ -234,8 +238,9 @@ class _Shard:
                 # loudly and let the pool supervisor restart the shard and
                 # fail its sessions over to SESSION_LOST, instead of
                 # limping on with silently wrong matching state.
-                self.errors += 1
-                self.last_error = f"{type(error).__name__}: {error}"
+                with self.lock:
+                    self.errors += 1
+                    self.last_error = f"{type(error).__name__}: {error}"
                 if kind == "end":
                     item[2]._fail(
                         SessionLost(
@@ -257,7 +262,9 @@ class _Shard:
 
     def restart(self) -> None:
         """Bring a fresh worker thread up after a crash (supervisor only)."""
-        self.restarts += 1
+        with self.lock:
+            self.restarts += 1
+        obs_metrics.POOL_SHARD_RESTARTS_TOTAL.inc()
         self.thread = threading.Thread(
             target=self._worker, name=f"monitor-shard-{self.index}", daemon=True
         )
@@ -272,16 +279,19 @@ class _Shard:
         self.thread.join(timeout=10.0)
 
     def stats(self) -> Dict[str, object]:
+        # One consistent snapshot: every counter (and the queue depth) is
+        # read under the shard lock the worker writes under, so a scrape
+        # racing a crash/restart (or a mid-swap burst) can't mix a new
+        # generation's depth with an old generation's counters.
         with self.lock:
-            closed = self.sessions_closed
-        return {
-            "shard": self.index,
-            "queued": self.queue.qsize(),
-            "events_processed": self.events_processed,
-            "sessions_closed": closed,
-            "errors": self.errors,
-            "restarts": self.restarts,
-        }
+            return {
+                "shard": self.index,
+                "queued": self.queue.qsize(),
+                "events_processed": self.events_processed,
+                "sessions_closed": self.sessions_closed,
+                "errors": self.errors,
+                "restarts": self.restarts,
+            }
 
 
 class MonitorPool:
@@ -409,6 +419,8 @@ class MonitorPool:
             del self._sessions[session_id]
             self._remember_lost(session_id, reason)
         self._sessions_lost += len(lost)
+        if lost:
+            obs_metrics.POOL_SESSIONS_LOST_TOTAL.inc(len(lost))
         # Discard everything still queued: the sessions the items belong
         # to are gone.  Queued closes must not hang their waiters.
         while True:
@@ -418,6 +430,7 @@ class MonitorPool:
                 break
             if item[0] == "end":
                 self._sessions_lost += 1
+                obs_metrics.POOL_SESSIONS_LOST_TOTAL.inc()
                 item[2]._fail(SessionLost(reason))
         shard.restart()
 
@@ -425,6 +438,11 @@ class MonitorPool:
         while len(self._lost) >= MAX_LOST_MARKERS:
             self._lost.pop(next(iter(self._lost)))
         self._lost[session_id] = reason
+
+    def _note_busy(self) -> None:
+        """Count one BUSY rejection (pool lock held)."""
+        self._busy_rejections += 1
+        obs_metrics.POOL_BUSY_TOTAL.inc()
 
     # ------------------------------------------------------------------ #
     # The hot path: feeding events
@@ -485,13 +503,14 @@ class MonitorPool:
                 try:
                     shard.queue.put_nowait(("events", session, batch))
                 except queue.Full:
-                    self._busy_rejections += 1
+                    self._note_busy()
                     return BUSY
                 # Admission is committed only with the first accepted
                 # batch, so a BUSY first contact burns no index.
                 self._sessions[session_id] = session
                 self._next_index += 1
                 self._sessions_opened += 1
+                obs_metrics.POOL_SESSIONS_OPENED_TOTAL.inc()
                 session.last_seq = seq
                 return ACCEPTED
             if seq is not None and session.last_seq is not None and seq <= session.last_seq:
@@ -501,7 +520,7 @@ class MonitorPool:
             try:
                 session.shard.queue.put_nowait(("events", session, batch))
             except queue.Full:
-                self._busy_rejections += 1
+                self._note_busy()
                 return BUSY
             if seq is not None:
                 session.last_seq = seq
@@ -530,7 +549,7 @@ class MonitorPool:
             try:
                 session.shard.queue.put_nowait(("end", session, ticket))
             except queue.Full:
-                self._busy_rejections += 1
+                self._note_busy()
                 return None
             del self._sessions[session_id]
             return ticket
@@ -598,6 +617,11 @@ class MonitorPool:
             rules = len(self._compiled)
             sessions_lost = self._sessions_lost
         shard_stats = [shard.stats() for shard in self._shards]
+        # Scrape-time gauges: levels (not events), so they are *set* from
+        # the consistent per-shard snapshots rather than incremented.
+        obs_metrics.POOL_SESSIONS_ACTIVE.set(active)
+        for entry in shard_stats:
+            obs_metrics.POOL_QUEUE_DEPTH.set(entry["queued"], shard=entry["shard"])
         return {
             "shards": len(self._shards),
             "queue_depth": self.queue_depth,

@@ -22,6 +22,7 @@ so clients may pipeline freely.  The verbs:
 ``BATCH``     push several events of one session atomically
 ``END``       close a session; the reply carries its final report
 ``STATS``     pool/server counters (shards, queues, generations)
+``METRICS``   the full metrics registry, Prometheus text format
 ``REPORT``    the aggregate over all closed sessions
 ``SWAP``      hot-swap the served rule set to a new compile generation
 ``PING``      liveness probe (reply ``PONG``)
@@ -63,6 +64,7 @@ from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.errors import DataFormatError, MonitoringError, ServingTimeout, SessionLost
+from ..obs import metrics as obs_metrics
 from ..specs.repository import SpecificationRepository
 from ..testing import faults
 from ..testing.faults import FaultInjected
@@ -73,6 +75,13 @@ from .pool import ACCEPTED, SESSION_LOST, MonitorPool
 DEFAULT_MAX_FRAME_BYTES = 1 << 20
 
 _LENGTH = struct.Struct(">I")
+
+#: The verbs the protocol knows.  Request latency is labelled by verb;
+#: anything else is bucketed under ``"other"`` so a misbehaving client
+#: cannot inflate the metric label space.
+_KNOWN_OPS = frozenset(
+    {"EVENT", "BATCH", "END", "STATS", "METRICS", "REPORT", "SWAP", "PING", "SHUTDOWN"}
+)
 
 
 class ProtocolError(Exception):
@@ -150,6 +159,7 @@ class _Handler(socketserver.StreamRequestHandler):
         server: "_PushTCPServer" = self.server  # type: ignore[assignment]
         front = server.front
         frame_index = 0
+        obs_metrics.SERVER_CONNECTIONS_TOTAL.inc()
         while True:
             try:
                 payload = read_frame(self.rfile, front.max_frame_bytes)
@@ -163,6 +173,9 @@ class _Handler(socketserver.StreamRequestHandler):
                 return  # peer reset mid-frame; drop the connection
             if payload is None:
                 return
+            op = payload.get("op")
+            op_label = op if op in _KNOWN_OPS else "other"
+            started = time.perf_counter()
             try:
                 if faults.ACTIVE is not None:
                     # Chaos hooks: drop the connection before (frame) or
@@ -183,6 +196,17 @@ class _Handler(socketserver.StreamRequestHandler):
             except FaultInjected:
                 return  # injected connection drop
             frame_index += 1
+            obs_metrics.SERVER_REQUEST_SECONDS.observe(
+                time.perf_counter() - started, op=op_label
+            )
+            obs_metrics.SERVER_REQUESTS_TOTAL.inc(op=op_label)
+            reply_op = reply.get("op")
+            if reply_op == "BUSY":
+                obs_metrics.SERVER_BUSY_REPLIES_TOTAL.inc()
+            elif reply_op == "SESSION_LOST":
+                obs_metrics.SERVER_SESSION_LOST_REPLIES_TOTAL.inc()
+            elif reply_op == "ERROR":
+                obs_metrics.SERVER_ERRORS_TOTAL.inc()
             try:
                 self._reply(reply)
             except OSError:
@@ -333,6 +357,17 @@ class EventPushServer:
             stats["op"] = "STATS"
             stats["uptime_seconds"] = round(time.monotonic() - self._started, 3)
             return stats, False
+        if op == "METRICS":
+            # A scrape of the process-wide registry: refresh the pool's
+            # level gauges (queue depths, active sessions) first so the
+            # rendering reflects this instant, then ship the Prometheus
+            # text inside the ordinary JSON reply frame.
+            self.pool.stats()
+            return {
+                "op": "METRICS",
+                "content_type": "text/plain; version=0.0.4",
+                "text": obs_metrics.REGISTRY.render_text(),
+            }, False
         if op == "REPORT":
             limit = payload.get("limit")
             reply = {"op": "REPORT"}
@@ -571,6 +606,14 @@ class PushClient:
 
     def stats(self) -> Dict[str, object]:
         return self.request({"op": "STATS"})
+
+    def metrics(self) -> str:
+        """Scrape the server's metrics registry (Prometheus text format)."""
+        reply = self.request({"op": "METRICS"})
+        text = reply.get("text")
+        if reply.get("op") != "METRICS" or not isinstance(text, str):
+            raise ProtocolError(f"unexpected METRICS reply: {reply!r}")
+        return text
 
     def report(self, limit: Optional[int] = None) -> Dict[str, object]:
         payload: Dict[str, object] = {"op": "REPORT"}

@@ -1,0 +1,119 @@
+"""Registry merge determinism across execution backends.
+
+The engine's workers record their measurements into throwaway delta
+registries shipped inside each :class:`UnitOutcome` / :class:`ShardOutcome`
+and merged exactly once by the coordinator.  These tests pin the resulting
+contract: whatever the backend — single process, forked pool, stealing
+threads — the merged registry equals what a single-process run records,
+and internal accounting (histogram counts vs. counters vs. ``MiningStats``)
+always reconciles, proving every delta arrived exactly once.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sequence import SequenceDatabase
+from repro.engine import ProcessPoolBackend, SerialBackend
+from repro.engine.stealing import WorkStealingBackend
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import (
+    ENGINE_SHARD_SECONDS,
+    ENGINE_SHARDS_TOTAL,
+    ENGINE_UNIT_SECONDS,
+    ENGINE_UNITS_TOTAL,
+    MINING_COUNTER_TOTAL,
+    MINING_EXTRA_TOTAL,
+    REGISTRY,
+)
+from repro.patterns.closed_miner import mine_closed_patterns
+
+sequences_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=4).map(str), min_size=1, max_size=12),
+    min_size=1,
+    max_size=5,
+)
+
+#: The deterministic slice of the mirror: search-shape counters are a pure
+#: function of the database, never of scheduling.
+SEARCH_COUNTERS = ("visited", "emitted", "pruned_support", "pruned_closure")
+
+
+def _mine_and_scrape(database, backend=None):
+    """Run one mine against a zeroed global registry; return its mirror."""
+    REGISTRY.reset()
+    result = mine_closed_patterns(database, min_support=2, backend=backend)
+    mirror = {
+        name: MINING_COUNTER_TOTAL.value(name=name) for name in SEARCH_COUNTERS
+    }
+    return result, mirror
+
+
+@given(sequences=sequences_strategy, max_shards=st.integers(min_value=2, max_value=5))
+@settings(max_examples=40, deadline=None)
+def test_sharded_serial_mirror_matches_single_process(sequences, max_shards):
+    database = SequenceDatabase.from_sequences(sequences)
+    _, single = _mine_and_scrape(database)
+    result, sharded = _mine_and_scrape(database, SerialBackend(max_shards=max_shards))
+    assert sharded == single
+    for name in SEARCH_COUNTERS:
+        assert sharded[name] == getattr(result.stats, name)
+    # Every shard's delta arrived exactly once: the per-shard histogram and
+    # the shard counter agree (zero shards only when nothing was frequent).
+    shards = ENGINE_SHARDS_TOTAL.value()
+    assert ENGINE_SHARD_SECONDS.sample()[2] == shards
+    if result.stats.visited:
+        assert shards >= 1
+
+
+@given(sequences=sequences_strategy)
+@settings(max_examples=4, deadline=None)
+def test_process_pool_deltas_merge_like_single_process(sequences):
+    """Worker registries crossing the pickle boundary merge losslessly."""
+    database = SequenceDatabase.from_sequences(sequences)
+    _, single = _mine_and_scrape(database)
+    result, pooled = _mine_and_scrape(database, ProcessPoolBackend(workers=2))
+    assert pooled == single
+    for name in SEARCH_COUNTERS:
+        assert pooled[name] == getattr(result.stats, name)
+    shards = ENGINE_SHARDS_TOTAL.value()
+    assert ENGINE_SHARD_SECONDS.sample()[2] == shards
+    if result.stats.visited:
+        assert shards >= 1
+
+
+def test_stealing_deltas_reconcile_with_stats():
+    """Thread-pool unit deltas arrive exactly once, split or not.
+
+    Unit *counts* are scheduling-dependent (splits happen when workers go
+    hungry), so the invariant pinned here is reconciliation: the mirror
+    equals this run's own merged ``MiningStats``, and the per-unit
+    histogram sums to the unit counters across every kind.
+    """
+    database = SequenceDatabase.from_sequences(
+        [["a", "b", "c", "a", "b", "c"], ["a", "b", "a", "c"], ["b", "c", "a", "b"]] * 3
+    )
+    REGISTRY.reset()
+    backend = WorkStealingBackend(workers=2, eager_split=True, split_depth=4)
+    result = mine_closed_patterns(database, min_support=2, backend=backend)
+    for name in SEARCH_COUNTERS:
+        assert MINING_COUNTER_TOTAL.value(name=name) == getattr(result.stats, name)
+    for key, value in result.stats.extra.items():
+        assert MINING_EXTRA_TOTAL.value(key=key) == value
+    snapshot = REGISTRY.snapshot()
+    unit_samples = snapshot[ENGINE_UNITS_TOTAL.name]["samples"]
+    units_by_kind = {key[0]: value for key, value in ((tuple(k), v) for k, v in unit_samples)}
+    assert sum(units_by_kind.values()) >= 1
+    for (kind,), counts, _, count in snapshot[ENGINE_UNIT_SECONDS.name]["samples"]:
+        assert count == units_by_kind[kind]
+        assert sum(counts) == count
+
+
+def test_muted_runs_ship_no_deltas():
+    database = SequenceDatabase.from_sequences([["a", "b"], ["a", "b"]])
+    REGISTRY.reset()
+    obs_metrics.set_enabled(False)
+    try:
+        mine_closed_patterns(database, min_support=2, backend=SerialBackend(max_shards=2))
+    finally:
+        obs_metrics.set_enabled(True)
+    assert ENGINE_SHARDS_TOTAL.value() == 0
+    assert MINING_COUNTER_TOTAL.value(name="visited") == 0

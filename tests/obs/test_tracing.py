@@ -1,0 +1,141 @@
+"""Tests for span tracing: arming, ring bounds, JSONL output, CLI plumbing."""
+
+import json
+
+import pytest
+
+from repro.obs import tracing
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    """Every test starts and ends with tracing disarmed."""
+    tracing.reset()
+    yield
+    tracing.reset()
+
+
+class TestSpan:
+    def test_disarmed_span_is_shared_noop(self):
+        assert tracing.ACTIVE is None
+        first = tracing.span("engine.execute", backend="serial")
+        second = tracing.span("daemon.cycle")
+        assert first is second  # the shared no-op: no allocation per site
+        with first:
+            pass
+
+    def test_armed_span_records_name_duration_attrs(self):
+        collector = tracing.install()
+        with tracing.span("engine.shard", index=3):
+            pass
+        entries = collector.snapshot()
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry["name"] == "engine.shard"
+        assert entry["attrs"] == {"index": 3}
+        assert entry["dur"] >= 0.0
+        assert isinstance(entry["pid"], int)
+
+    def test_span_records_even_when_body_raises(self):
+        collector = tracing.install()
+        with pytest.raises(RuntimeError):
+            with tracing.span("daemon.cycle"):
+                raise RuntimeError("boom")
+        assert [entry["name"] for entry in collector.snapshot()] == ["daemon.cycle"]
+
+    def test_ring_is_bounded_oldest_evicted(self):
+        collector = tracing.install(ring_size=3)
+        for index in range(5):
+            with tracing.span("s", i=index):
+                pass
+        kept = [entry["attrs"]["i"] for entry in collector.snapshot()]
+        assert kept == [2, 3, 4]
+
+    def test_install_replaces_and_reset_disarms(self):
+        first = tracing.install()
+        second = tracing.install()
+        assert tracing.ACTIVE is second and first is not second
+        tracing.reset()
+        assert tracing.ACTIVE is None
+
+
+class TestJsonlFile:
+    def test_spans_append_as_json_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracing.install(str(path))
+        with tracing.span("engine.execute", backend="serial"):
+            with tracing.span("engine.shard", index=0):
+                pass
+        tracing.reset()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        entries = [json.loads(line) for line in lines]
+        # Inner span finishes (and lands) first.
+        assert [entry["name"] for entry in entries] == ["engine.shard", "engine.execute"]
+        assert entries[1]["dur"] >= entries[0]["dur"]
+
+    def test_reinstall_appends_to_existing_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for _ in range(2):
+            tracing.install(str(path))
+            with tracing.span("s"):
+                pass
+            tracing.reset()
+        assert len(path.read_text(encoding="utf-8").splitlines()) == 2
+
+
+class TestCliPlumbing:
+    def test_trace_out_writes_engine_spans(self, tmp_path):
+        from repro.cli import main
+        from repro.traces.io import write_traces
+        from repro.core.sequence import SequenceDatabase
+
+        trace_file = tmp_path / "in.txt"
+        write_traces(
+            SequenceDatabase.from_sequences([["a", "b"], ["a", "b"], ["a", "c"]]),
+            trace_file,
+        )
+        out = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "mine-rules",
+                "--input",
+                str(trace_file),
+                "--trace-out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert tracing.ACTIVE is None  # main() disarms on the way out
+        names = {
+            json.loads(line)["name"]
+            for line in out.read_text(encoding="utf-8").splitlines()
+        }
+        assert "engine.execute" in names
+
+    def test_trace_summary_tool_aggregates(self, tmp_path, capsys):
+        import importlib.util
+        from pathlib import Path
+
+        spec = importlib.util.spec_from_file_location(
+            "trace_summary",
+            Path(__file__).resolve().parents[2] / "tools" / "trace_summary.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+        path = tmp_path / "trace.jsonl"
+        entries = [
+            {"name": "engine.shard", "ts": 1.0, "dur": 0.25, "pid": 1},
+            {"name": "engine.shard", "ts": 2.0, "dur": 0.75, "pid": 1},
+            {"name": "daemon.cycle", "ts": 3.0, "dur": 2.0, "pid": 1},
+        ]
+        text = "\n".join(json.dumps(entry) for entry in entries) + "\nnot json\n"
+        path.write_text(text, encoding="utf-8")
+        assert module.main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "daemon.cycle" in out and "engine.shard" in out
+        assert "3 spans, 2 distinct names" in out
+        rows = module.summarise(module.load_spans([str(path)]))
+        assert rows[0]["name"] == "daemon.cycle"  # sorted by total desc
+        assert rows[1]["count"] == 2
+        assert rows[1]["total"] == pytest.approx(1.0)
