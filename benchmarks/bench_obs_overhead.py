@@ -11,7 +11,12 @@ holds the layer to that promise on the two hot paths it touches:
   stats-mirror cost);
 * **serving** — pushing batched session events through a sharded
   :class:`~repro.serving.pool.MonitorPool` (the per-event counter and the
-  per-scrape gauge cost).
+  per-scrape gauge cost);
+* **serving, fully armed** — the same push workload with per-rule
+  analytics mirrored into the registry, a live trace collector, and a
+  trace context stamped on every batch (the cross-process propagation
+  path), plus a ``rule_analytics()`` scrape — the serving plane exactly
+  as `repro serve --http-port` runs it under `repro top`.
 
 Each path is timed in alternating enabled/muted rounds
 (:func:`repro.obs.metrics.set_enabled`), taking the best round per mode so
@@ -39,6 +44,7 @@ from pathlib import Path
 from repro.datagen.profiles import generate_profile
 from repro.engine import resolve_backend
 from repro.obs import metrics as obs_metrics
+from repro.obs import tracing
 from repro.rules.config import RuleMiningConfig
 from repro.rules.nonredundant_miner import NonRedundantRecurrentRuleMiner
 from repro.serving.pool import MonitorPool
@@ -86,21 +92,53 @@ def _serve_once(rules):
     return report, time.perf_counter() - started
 
 
-def _best_of(fn, argument):
+def _serve_analytics_once(rules):
+    """The fully armed serving pass: analytics + trace propagation.
+
+    When the collector is armed (instrumented rounds) every batch and
+    session close carries a trace context, the way :class:`PushClient`
+    stamps wire frames; muted rounds send the same traffic plain.  The
+    per-rule analytics scrape at the end is the ANALYTICS-verb read that
+    `repro top` polls.
+    """
+    events = [f"ev{i % 7}" for i in range(EVENTS_PER_SESSION)]
+    armed = tracing.ACTIVE is not None
+    started = time.perf_counter()
+    with MonitorPool(rules, shards=4) as pool:
+        for session in range(SESSIONS):
+            context = tracing.ensure_context() if armed else None
+            pool.feed_batch(f"s{session}", events, trace=context)
+        for session in range(SESSIONS):
+            context = tracing.ensure_context() if armed else None
+            pool.end_session(f"s{session}", trace=context).wait(timeout=30.0)
+        analytics = pool.rule_analytics()
+        report = pool.report()
+        pool.stats()
+    return (report, analytics), time.perf_counter() - started
+
+
+def _best_of(fn, argument, arm=None, disarm=None):
     """Alternate enabled/muted rounds, returning each mode's best time.
 
     Interleaving means a load spike hits both modes alike; taking the
-    minimum keeps the comparison about the code, not the machine.
+    minimum keeps the comparison about the code, not the machine.  The
+    optional ``arm``/``disarm`` hooks bracket each instrumented round
+    (e.g. installing and resetting a trace collector) so "enabled" can
+    mean more than the metrics flag.
     """
     results = {}
     timings = {True: [], False: []}
     for _ in range(ROUNDS):
         for enabled in (True, False):
             obs_metrics.set_enabled(enabled)
+            if enabled and arm is not None:
+                arm()
             try:
                 outcome, elapsed = fn(argument)
             finally:
                 obs_metrics.set_enabled(True)
+                if disarm is not None:
+                    disarm()
             results[enabled] = outcome
             timings[enabled].append(elapsed)
     return results, min(timings[True]), min(timings[False])
@@ -112,6 +150,11 @@ def bench_obs_overhead(benchmark):
     # instrumentation, not the search.
     database = generate_profile("D5C5N10S4", scale=0.04 * SCALE)
 
+    # One untimed warmup pass: the first mine on a cold machine runs up to
+    # 2x slower (frequency ramp, cold caches), which best-of-N rounds
+    # cannot always amortise on a single-CPU host.
+    _mine_once(database)
+
     mine_results, mine_on, mine_off = _best_of(_mine_once, database)
     # Observe, never perturb: the mined rules are identical either way.
     assert [str(r) for r in mine_results[True].rules] == [
@@ -122,8 +165,19 @@ def bench_obs_overhead(benchmark):
     serve_results, serve_on, serve_off = _best_of(_serve_once, rules)
     assert serve_results[True].summary() == serve_results[False].summary()
 
+    analytics_results, analytics_on, analytics_off = _best_of(
+        _serve_analytics_once, rules, arm=tracing.install, disarm=tracing.reset
+    )
+    # Armed or plain, the pool reports the same violations and the same
+    # per-rule tallies — analytics observe, never perturb.
+    armed_report, armed_analytics = analytics_results[True]
+    plain_report, plain_analytics = analytics_results[False]
+    assert armed_report.summary() == plain_report.summary()
+    assert armed_analytics == plain_analytics
+
     mine_overhead = mine_on / mine_off - 1.0
     serve_overhead = serve_on / serve_off - 1.0
+    analytics_overhead = analytics_on / analytics_off - 1.0
 
     # One extra instrumented mining pass as the pytest-benchmark probe.
     benchmark.pedantic(lambda: _mine_once(database), rounds=1, iterations=1)
@@ -144,6 +198,9 @@ def bench_obs_overhead(benchmark):
         "serve_instrumented_seconds": round(serve_on, 4),
         "serve_muted_seconds": round(serve_off, 4),
         "serve_overhead_fraction": round(serve_overhead, 4),
+        "serve_analytics_armed_seconds": round(analytics_on, 4),
+        "serve_analytics_muted_seconds": round(analytics_off, 4),
+        "serve_analytics_overhead_fraction": round(analytics_overhead, 4),
         "wall_clock_seconds": round(mine_on, 4),
     }
     append_bench_record(JSON_PATH, record)
@@ -154,7 +211,9 @@ def bench_obs_overhead(benchmark):
         f"mine : instrumented {mine_on:.4f}s vs muted {mine_off:.4f}s "
         f"({mine_overhead:+.1%})\n"
         f"serve: instrumented {serve_on:.4f}s vs muted {serve_off:.4f}s "
-        f"({serve_overhead:+.1%})"
+        f"({serve_overhead:+.1%})\n"
+        f"serve+analytics+trace: armed {analytics_on:.4f}s vs muted "
+        f"{analytics_off:.4f}s ({analytics_overhead:+.1%})"
     )
     write_result("obs_overhead", text)
 
@@ -168,4 +227,10 @@ def bench_obs_overhead(benchmark):
         assert serve_overhead <= MAX_OVERHEAD, (
             f"metrics overhead on the serving path is {serve_overhead:.1%} "
             f"(> {MAX_OVERHEAD:.0%}): {serve_on:.4f}s vs {serve_off:.4f}s"
+        )
+        assert analytics_overhead <= MAX_OVERHEAD, (
+            f"per-rule analytics + trace propagation overhead on the "
+            f"serving path is {analytics_overhead:.1%} "
+            f"(> {MAX_OVERHEAD:.0%}): {analytics_on:.4f}s vs "
+            f"{analytics_off:.4f}s"
         )

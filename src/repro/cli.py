@@ -23,7 +23,14 @@ Sub-commands cover the full workflow of the paper:
   monitor pool (see ``docs/serving.md`` for the wire protocol);
 * ``metrics``      — scrape a running ``serve``/``watch --push-port`` box's
   metrics registry over the wire ``METRICS`` verb and print the
-  Prometheus text exposition (see ``docs/observability.md``).
+  Prometheus text exposition (see ``docs/observability.md``);
+* ``top``          — a refreshing terminal dashboard over a running
+  serving box: sliding-window event/session rates, shard queue depths and
+  the hottest / most-violated rules (wire ``STATS`` + ``ANALYTICS``).
+
+``serve`` and ``watch`` also accept ``--http-port``: an HTTP sidecar
+(``repro.obs.httpexpo``) exposing ``/metrics``, ``/healthz`` and
+``/statusz`` for Prometheus scrapers and load-balancer probes.
 
 The mining and serving commands accept ``--trace-out FILE``: spans
 recording where each run's wall-clock went (per shard, per daemon cycle,
@@ -50,6 +57,7 @@ import hashlib
 import signal
 import sys
 import threading
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -79,6 +87,7 @@ from .ingest.formats import (
 from .ingest.incremental import IncrementalMiner
 from .ingest.store import TraceStore
 from .obs import tracing
+from .obs.httpexpo import MetricsHTTPServer
 from .serving.daemon import WatchDaemon
 from .serving.pool import MonitorPool
 from .serving.server import EventPushServer, ProtocolError, PushClient
@@ -239,6 +248,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="additionally serve pushed sessions over TCP on this port "
         "(0 = ephemeral; the bound address is printed on stderr)",
     )
+    _add_http_arguments(watch)
     _add_engine_arguments(watch)
     _add_trace_argument(watch)
 
@@ -273,6 +283,7 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-violations", type=int, default=10, help="violations to print at shutdown"
     )
+    _add_http_arguments(serve)
     _add_trace_argument(serve)
 
     metrics = subparsers.add_parser(
@@ -288,7 +299,62 @@ def _build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=10.0, help="socket timeout in seconds (default 10)"
     )
 
+    top = subparsers.add_parser(
+        "top",
+        help="refreshing terminal dashboard over a running serve/watch box: "
+        "event/session rates, queue depths and the hottest rules",
+    )
+    top.add_argument("--host", default="127.0.0.1", help="server host (default 127.0.0.1)")
+    top.add_argument(
+        "--port", type=_positive_int, default=7311, help="server port (default 7311)"
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes; rates are computed over this "
+        "window (default 2)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=_positive_int,
+        default=None,
+        help="render this many frames, then exit (default: run until Ctrl-C)",
+    )
+    top.add_argument(
+        "--top",
+        type=_positive_int,
+        default=10,
+        dest="top_n",
+        help="rules to show in the hottest/most-violated table (default 10)",
+    )
+    top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen (logs, pipes)",
+    )
+    top.add_argument(
+        "--timeout", type=float, default=10.0, help="socket timeout in seconds (default 10)"
+    )
+
     return parser
+
+
+def _add_http_arguments(subparser: argparse.ArgumentParser) -> None:
+    """The HTTP exposition sidecar options shared by serve and watch."""
+    subparser.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        help="host the HTTP exposition sidecar (/metrics, /healthz, "
+        "/statusz) on this port (0 = ephemeral; the bound address is "
+        "printed on stderr)",
+    )
+    subparser.add_argument(
+        "--http-host",
+        default="127.0.0.1",
+        help="bind host for the HTTP sidecar (default 127.0.0.1)",
+    )
 
 
 def _positive_int(value: str) -> int:
@@ -780,10 +846,15 @@ def _command_watch(args: argparse.Namespace) -> int:
         persist_cache=True,
         on_cycle=report_cycle,
         push_port=args.push_port,
+        http_port=args.http_port,
+        http_host=args.http_host,
     )
     if daemon.push_address is not None:
         host, port = daemon.push_address
         print(f"push serving on {host}:{port}", file=sys.stderr, flush=True)
+    if daemon.http_address is not None:
+        host, port = daemon.http_address
+        print(f"http exposition on http://{host}:{port}", file=sys.stderr, flush=True)
     try:
         cycles = daemon.run_forever(poll_interval=args.interval, max_cycles=args.max_cycles)
     finally:
@@ -822,6 +893,15 @@ def _command_serve(args: argparse.Namespace) -> int:
         file=sys.stderr,
         flush=True,
     )
+    http_server = None
+    if args.http_port is not None:
+        http_server = MetricsHTTPServer(host=args.http_host, port=args.http_port, pool=pool)
+        http_host, http_port = http_server.start()
+        print(
+            f"http exposition on http://{http_host}:{http_port}",
+            file=sys.stderr,
+            flush=True,
+        )
     # Drain on SIGTERM/SIGINT: stop accepting, close open sessions so
     # their reports land in the aggregate output below.  shutdown() must
     # run off the main thread — calling it from a signal handler while
@@ -844,6 +924,8 @@ def _command_serve(args: argparse.Namespace) -> int:
     finally:
         for signum, handler in previous.items():
             signal.signal(signum, handler)
+        if http_server is not None:
+            http_server.close()
         server.close()
         drained = pool.drain_sessions()
         if drained:
@@ -875,6 +957,105 @@ def _command_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ANSI: clear the screen and home the cursor (repro top's refresh).
+_CLEAR_SCREEN = "\x1b[2J\x1b[H"
+
+
+def _render_top(
+    stats: dict,
+    previous: Optional[dict],
+    analytics: dict,
+    elapsed: float,
+    top_n: int,
+) -> str:
+    """One ``repro top`` frame as plain text (pure: samples in, text out).
+
+    ``stats``/``previous`` are two successive wire ``STATS`` replies taken
+    ``elapsed`` seconds apart; the sliding-window rates are the counter
+    deltas over that window (the first frame, with no ``previous``, shows
+    totals only).  ``analytics`` is an ``ANALYTICS`` reply whose rules are
+    already server-ranked most-violated first.
+    """
+    lines = [
+        f"repro top — generation {stats.get('generation')}, "
+        f"{stats.get('rules')} rules, uptime {stats.get('uptime_seconds', 0):.0f}s"
+    ]
+    window = max(elapsed, 1e-9)
+
+    def rate(key: str) -> str:
+        if previous is None:
+            return "-"
+        delta = stats.get(key, 0) - previous.get(key, 0)
+        return f"{delta / window:.1f}/s"
+
+    lines.append(
+        f"sessions: {stats.get('sessions_active', 0)} active, "
+        f"{stats.get('sessions_closed', 0)} closed ({rate('sessions_closed')}), "
+        f"{stats.get('sessions_lost', 0)} lost"
+    )
+    lines.append(
+        f"events:   {stats.get('events_processed', 0)} processed "
+        f"({rate('events_processed')}), "
+        f"{stats.get('busy_rejections', 0)} busy ({rate('busy_rejections')})"
+    )
+    per_shard = stats.get("per_shard") or []
+    if per_shard:
+        depths = " ".join(
+            f"{entry.get('shard')}:{entry.get('queued', 0)}" for entry in per_shard
+        )
+        restarts = sum(entry.get("restarts", 0) for entry in per_shard)
+        lines.append(
+            f"shards:   {len(per_shard)} (queue depth {depths}"
+            f"; cap {stats.get('queue_depth')}; {restarts} restarts)"
+        )
+    rules = analytics.get("rules") or {}
+    lines.append("")
+    if rules:
+        lines.append(f"hottest rules (top {top_n} by violations, then opened points):")
+        rows = [
+            {
+                "rule": key,
+                "opened": entry.get("opened", 0),
+                "satisfied": entry.get("satisfied", 0),
+                "violated": entry.get("violated", 0),
+                "trie_advances": entry.get("trie_advances", 0),
+            }
+            for key, entry in list(rules.items())[:top_n]
+        ]
+        lines.append(format_table(rows))
+    else:
+        lines.append("no per-rule activity yet")
+    return "\n".join(lines) + "\n"
+
+
+def _command_top(args: argparse.Namespace) -> int:
+    frames = 0
+    previous: Optional[dict] = None
+    sampled_at = 0.0
+    try:
+        with PushClient(args.host, args.port, timeout=args.timeout) as client:
+            while args.iterations is None or frames < args.iterations:
+                if frames:
+                    time.sleep(args.interval)
+                now = time.monotonic()
+                stats = client.stats()
+                analytics = client.analytics(top=args.top_n)
+                frame = _render_top(
+                    stats, previous, analytics, now - sampled_at, args.top_n
+                )
+                if not args.no_clear:
+                    print(_CLEAR_SCREEN, end="")
+                print(frame, end="", flush=True)
+                previous, sampled_at = stats, now
+                frames += 1
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    except (OSError, ProtocolError) as error:
+        print(f"error: {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "jboss": _command_jboss,
@@ -887,6 +1068,7 @@ _COMMANDS = {
     "watch": _command_watch,
     "serve": _command_serve,
     "metrics": _command_metrics,
+    "top": _command_top,
 }
 
 

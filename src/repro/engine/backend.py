@@ -121,6 +121,7 @@ class ExecutionBackend:
         outcomes = self.map_shards(runner, pending) if pending else []
         records, stats = merge_outcomes(cached + outcomes)
         obs_metrics.merge_outcome_metrics(cached + outcomes)
+        tracing.absorb_outcome_spans(outcomes)
         stats.pruned_support += plan.pruned_support
         if cached:
             stats.bump("shards_resumed", len(cached))

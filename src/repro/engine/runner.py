@@ -36,6 +36,7 @@ shipping bulky indexes over the wire.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Any, Dict, List, Mapping, Optional, Sequence as TypingSequence, Tuple
 
@@ -43,6 +44,7 @@ from ..core.events import EncodedDatabase, EventId
 from ..core.positions import PositionIndex
 from ..core.stats import MiningStats
 from ..obs import metrics as obs_metrics
+from ..obs import tracing
 from .sharding import PlanResult, RootResult, Shard, ShardOutcome, UnitOutcome, WorkUnit
 
 
@@ -142,7 +144,39 @@ class ShardRunner:
         return self.miner.plan_roots(self._ensure_context())
 
     def setup(self) -> None:
-        """Build (or reuse) the per-process search context."""
+        """Build (or reuse) the per-process search context.
+
+        In a worker process (the runner crossed a pickle boundary with the
+        coordinator's tracing armed), this also arms the worker-side
+        shipping collector and adopts the coordinator's trace context, so
+        the worker's unit/shard spans join the coordinator's trace when
+        they travel back inside the outcomes.
+        """
+        # Two ways a worker learns the coordinator had tracing armed:
+        # *spawned* workers receive the runner through a pickle, where
+        # __getstate__ captured the flag and the trace context; *forked*
+        # workers inherit the coordinator's collector itself through the
+        # address space — detected by its foreign pid, because reusing it
+        # would append to the parent's JSONL handle from two processes.
+        # Either way the worker ends up on a fresh shipping buffer with
+        # the coordinator's context adopted.
+        ship = self.__dict__.pop("_ship_spans", False)
+        trace_ctx = self.__dict__.pop("_trace_ctx", None)
+        inherited = tracing.ACTIVE
+        if (
+            inherited is not None
+            and not inherited.shipping
+            and inherited.pid != os.getpid()
+        ):
+            ship = True
+            if trace_ctx is None:
+                # The span stack was copied at fork time: the coordinator
+                # forks inside its "engine.execute" span, so this is it.
+                trace_ctx = tracing.current_ids()
+        if ship and not tracing.shipping():
+            tracing.install_shipping()
+        if trace_ctx is not None and tracing.shipping():
+            tracing.adopt(*trace_ctx)
         self._ensure_context()
 
     def run_shard(self, shard: Shard) -> ShardOutcome:
@@ -157,17 +191,27 @@ class ShardRunner:
         started = time.perf_counter()
         stats = MiningStats()
         root_results: List[RootResult] = []
-        for root in shard.roots:
-            records = tuple(self.miner.mine_root(context, root, stats))
-            for record in records:
-                stats.shipped_bytes += _record_payload_bytes(record)
-            root_results.append(RootResult(root, records))
+        # Worker-side only: the serial backend already wraps run_shard in
+        # an "engine.shard" span coordinator-side.
+        shard_span = (
+            tracing.span("engine.shard", index=shard.index, roots=len(shard.roots))
+            if tracing.shipping()
+            else tracing._NOOP
+        )
+        with shard_span:
+            for root in shard.roots:
+                records = tuple(self.miner.mine_root(context, root, stats))
+                for record in records:
+                    stats.shipped_bytes += _record_payload_bytes(record)
+                root_results.append(RootResult(root, records))
         delta = (
             obs_metrics.shard_observation(time.perf_counter() - started)
             if obs_metrics.ENABLED
             else None
         )
-        return ShardOutcome(shard.index, tuple(root_results), stats, delta)
+        return ShardOutcome(
+            shard.index, tuple(root_results), stats, delta, tracing.drain_shipped()
+        )
 
     # ------------------------------------------------------------------ #
     # Work-stealing unit protocol
@@ -201,7 +245,8 @@ class ShardRunner:
         context = self._ensure_context()
         started = time.perf_counter()
         stats = MiningStats()
-        records = tuple(self.miner.mine_unit(context, unit, stats, splitter))
+        with tracing.span("engine.unit", kind=unit.kind, root=unit.root):
+            records = tuple(self.miner.mine_unit(context, unit, stats, splitter))
         for record in records:
             stats.shipped_bytes += _record_payload_bytes(record)
         delta = (
@@ -209,7 +254,7 @@ class ShardRunner:
             if obs_metrics.ENABLED
             else None
         )
-        return UnitOutcome(unit, records, stats, delta)
+        return UnitOutcome(unit, records, stats, delta, tracing.drain_shipped())
 
     def resolve_units(self, outcomes: List[UnitOutcome]) -> List[Any]:
         """Reassemble unit outcomes into canonical serial record order."""
@@ -229,4 +274,10 @@ class ShardRunner:
         # always reconstruct it (once) in setup().
         state = self.__dict__.copy()
         state["_context"] = None
+        # Pickling happens inside the coordinator's "engine.execute" span:
+        # capture whether tracing is armed (and under which trace/span) so
+        # worker processes can buffer child spans for shipping.
+        if tracing.ACTIVE is not None and not tracing.ACTIVE.shipping:
+            state["_ship_spans"] = True
+            state["_trace_ctx"] = tracing.current_ids()
         return state

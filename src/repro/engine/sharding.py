@@ -76,6 +76,11 @@ class UnitOutcome(NamedTuple):
     #: histogram + unit counter), shipped across the process boundary and
     #: merged into the coordinator's registry; ``None`` when muted.
     metrics: Optional[Dict[str, object]] = None
+    #: Finished trace spans buffered worker-side while executing the unit,
+    #: shipped back for the coordinator's collector to absorb; ``None``
+    #: when tracing is disarmed (or coordinator-side, where spans land in
+    #: the armed collector directly).
+    spans: Optional[Tuple[Dict[str, object], ...]] = None
 
 
 class PlanResult(NamedTuple):
@@ -107,6 +112,10 @@ class ShardOutcome(NamedTuple):
     #: Metrics-registry delta recorded while executing the shard, merged
     #: into the coordinator's registry like the stats; ``None`` when muted.
     metrics: Optional[Dict[str, object]] = None
+    #: Worker-side trace spans for this shard, absorbed by the coordinator
+    #: (see :func:`repro.obs.tracing.absorb_outcome_spans`); ``None`` when
+    #: tracing is disarmed.
+    spans: Optional[Tuple[Dict[str, object], ...]] = None
 
 
 def plan_shards(

@@ -61,6 +61,7 @@ from typing import Any, Callable, Dict, List, NamedTuple, Optional, Sequence, Se
 from ..core.errors import ConfigurationError, ExecutionFault
 from ..core.stats import MiningStats
 from ..obs import metrics as obs_metrics
+from ..obs import tracing
 from ..testing import faults
 from .backend import ExecutionBackend
 from .sharding import UnitOutcome, WorkUnit, describe_unit
@@ -757,6 +758,9 @@ class WorkStealingBackend(ExecutionBackend):
             outcomes = _run_units_in_process(runner, units, self)
         else:
             outcomes = _run_units_with_processes(runner, units, self, stats)
+        # Only freshly executed outcomes donate spans: journal-resumed ones
+        # were recorded by the run that journaled them.
+        tracing.absorb_outcome_spans(outcomes)
         outcomes = cached + outcomes
         for outcome in outcomes:
             stats.merge_counters(outcome.stats)

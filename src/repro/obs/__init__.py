@@ -14,7 +14,13 @@ package is the single funnel every layer records into:
   (``with span("engine.shard", index=3)``) recording monotonic durations
   to a bounded ring and optionally a JSONL trace file
   (``--trace-out``), disarmed at the cost of one attribute check per
-  site, summarised offline by ``tools/trace_summary.py``.
+  site, summarised offline by ``tools/trace_summary.py``; spans carry
+  trace/span/parent ids that propagate over the push-protocol wire and
+  back from engine worker processes (shipped inside outcomes);
+* :mod:`repro.obs.httpexpo` — a stdlib HTTP sidecar exposing
+  ``/metrics`` (Prometheus text), ``/healthz`` (readiness) and
+  ``/statusz`` (JSON snapshot), attached with ``--http-port`` on
+  ``repro serve`` / ``repro watch``.
 
 The metric catalogue, span naming scheme, and scrape/trace workflows are
 documented in ``docs/observability.md``.
@@ -23,6 +29,8 @@ documented in ``docs/observability.md``.
 from .metrics import (
     DEFAULT_BUCKETS,
     REGISTRY,
+    SERVING_BUCKETS,
+    UNIT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -30,15 +38,24 @@ from .metrics import (
     enabled,
     merge_outcome_metrics,
     record_mining_stats,
+    record_rule_close,
     set_enabled,
     shard_observation,
     unit_observation,
 )
-from .tracing import TraceCollector, install as install_tracing, reset as reset_tracing, span
+from .tracing import (
+    TraceCollector,
+    install as install_tracing,
+    remote_span,
+    reset as reset_tracing,
+    span,
+)
 
 __all__ = [
     "DEFAULT_BUCKETS",
     "REGISTRY",
+    "SERVING_BUCKETS",
+    "UNIT_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -48,6 +65,8 @@ __all__ = [
     "install_tracing",
     "merge_outcome_metrics",
     "record_mining_stats",
+    "record_rule_close",
+    "remote_span",
     "reset_tracing",
     "set_enabled",
     "shard_observation",

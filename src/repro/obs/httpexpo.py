@@ -1,0 +1,197 @@
+"""HTTP exposition sidecar: ``/metrics``, ``/healthz`` and ``/statusz``.
+
+The wire protocol's ``METRICS`` verb serves scrapes to *push-protocol*
+clients, but a Prometheus server (or a plain ``curl``) speaks HTTP.  This
+module is the bridge: a :class:`MetricsHTTPServer` hosts a stdlib
+``ThreadingHTTPServer`` on a daemon thread next to a serving process and
+answers three read-only endpoints:
+
+``/metrics``
+    The process-wide registry in Prometheus text format (version 0.0.4).
+    When a pool is attached, its level gauges (queue depths, active
+    sessions) are refreshed first so the scrape reflects this instant.
+``/healthz``
+    A JSON readiness probe: HTTP 200 with ``{"status": "ok"}`` while every
+    attached component is live, 503 with ``{"status": "degraded"}`` when a
+    pool shard thread has died or the attached watch daemon is backing off
+    after consecutive poll failures.  Load balancers key off the status
+    code; humans read the body.
+``/statusz``
+    A JSON snapshot for humans and dashboards: the pool's ``stats()``
+    dict plus the full ``REGISTRY.snapshot()``.
+
+Everything else is 404.  The server binds ``127.0.0.1`` by default — it
+exposes operational detail and has no authentication, so binding a public
+interface is an explicit operator decision (``--http-host``).  Attach one
+via ``--http-port`` on ``repro serve`` / ``repro watch``, or in code::
+
+    from repro.obs.httpexpo import MetricsHTTPServer
+    expo = MetricsHTTPServer(port=9090, pool=pool)
+    host, port = expo.start()
+    ...
+    expo.close()
+
+The sidecar never mutates the components it reports on; ``pool`` and
+``daemon`` are duck-typed (``stats``/``shard_liveness``/``generation`` and
+``consecutive_failures``/``current_backoff``/``last_error``) so tests can
+hand in stubs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from .metrics import REGISTRY
+
+__all__ = ["MetricsHTTPServer"]
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route the three endpoints; everything else is 404."""
+
+    # Keep-alive would pin scrape threads on half-closed connections.
+    protocol_version = "HTTP/1.0"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        expo: "MetricsHTTPServer" = self.server.expo  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            self._send(200, PROMETHEUS_CONTENT_TYPE, expo.render_metrics())
+        elif path == "/healthz":
+            status, body = expo.health()
+            self._send(200 if status == "ok" else 503, "application/json", body)
+        elif path == "/statusz":
+            self._send(200, "application/json", expo.render_status())
+        else:
+            self._send(404, "application/json", '{"error": "not found"}\n')
+
+    def _send(self, code: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Scrapes are periodic; stderr chatter would drown real output."""
+
+
+class _ExpoHTTPServer(ThreadingHTTPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, expo: "MetricsHTTPServer") -> None:
+        self.expo = expo
+        super().__init__(address, _Handler)
+
+
+class MetricsHTTPServer:
+    """A background HTTP server exposing metrics and health for one process.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address; port ``0`` binds an ephemeral port (read it back
+        from :attr:`address`).
+    pool:
+        Optional :class:`~repro.serving.pool.MonitorPool` whose gauges are
+        refreshed per scrape and whose shard liveness feeds ``/healthz``.
+    daemon:
+        Optional :class:`~repro.serving.daemon.WatchDaemon` whose poll
+        failure/backoff state feeds ``/healthz``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        pool: Optional[Any] = None,
+        daemon: Optional[Any] = None,
+    ) -> None:
+        self.pool = pool
+        self.daemon = daemon
+        self._server = _ExpoHTTPServer((host, port), self)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — with port 0, the port actually bound."""
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> Tuple[str, int]:
+        """Serve on a daemon thread; returns the bound address (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever, name="metrics-http", daemon=True
+            )
+            self._thread.start()
+        return self.address
+
+    def close(self) -> None:
+        """Stop serving and release the listening socket (idempotent)."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Endpoint bodies (separated from HTTP plumbing for direct testing)
+    # ------------------------------------------------------------------ #
+    def render_metrics(self) -> str:
+        """The Prometheus text body served at ``/metrics``."""
+        if self.pool is not None:
+            self.pool.stats()  # refresh queue/session level gauges
+        return REGISTRY.render_text()
+
+    def health(self) -> Tuple[str, str]:
+        """``("ok" | "degraded", json_body)`` for ``/healthz``."""
+        checks: Dict[str, object] = {}
+        status = "ok"
+        if self.pool is not None:
+            liveness = list(self.pool.shard_liveness())
+            checks["pool"] = {
+                "generation": self.pool.generation,
+                "shards_alive": sum(liveness),
+                "shards": len(liveness),
+            }
+            if not all(liveness):
+                status = "degraded"
+        if self.daemon is not None:
+            failures = self.daemon.consecutive_failures
+            checks["daemon"] = {
+                "consecutive_failures": failures,
+                "backoff_seconds": self.daemon.current_backoff,
+                "last_error": self.daemon.last_error,
+            }
+            if failures:
+                status = "degraded"
+        body = json.dumps({"status": status, "checks": checks}, sort_keys=True)
+        return status, body + "\n"
+
+    def render_status(self) -> str:
+        """The JSON body served at ``/statusz``."""
+        status: Dict[str, object] = {}
+        if self.pool is not None:
+            status["pool"] = dict(self.pool.stats())
+        status["metrics"] = REGISTRY.snapshot()
+        return json.dumps(status, sort_keys=True, default=repr) + "\n"

@@ -47,9 +47,12 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "DEFAULT_BUCKETS",
+    "SERVING_BUCKETS",
+    "UNIT_BUCKETS",
     "set_enabled",
     "enabled",
     "record_mining_stats",
+    "record_rule_close",
     "unit_observation",
     "shard_observation",
     "merge_outcome_metrics",
@@ -76,6 +79,47 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     10.0,
 )
 
+#: Serving-verb dispatch and per-event work are dominated by
+#: sub-millisecond costs the 100µs default floor cannot resolve: 5µs..250ms.
+SERVING_BUCKETS: Tuple[float, ...] = (
+    0.000005,
+    0.00001,
+    0.000025,
+    0.00005,
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+)
+
+#: Work units, shards, and rule/session lifetimes run long-tailed the
+#: other way — whole subtrees or whole sessions: 1ms..120s.
+UNIT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    120.0,
+)
+
 #: Global enable flag: one module-attribute check per record call when the
 #: registry is muted (the ``faults.ACTIVE`` idiom), so the overhead
 #: benchmark can compare armed vs. disarmed runs of the same code.
@@ -91,6 +135,31 @@ def set_enabled(value: bool) -> None:
 def enabled() -> bool:
     """Whether record calls currently reach the registry."""
     return ENABLED
+
+
+def _validated_buckets(name: str, buckets: Sequence[float]) -> Tuple[float, ...]:
+    """Validate declared histogram bounds: non-empty, positive, ascending.
+
+    Buckets are part of a family's identity (cross-process merging is only
+    exact when both sides share them), so a bad declaration must fail at
+    declaration time with a message naming the family — not later as a
+    merge conflict or a silently empty bucket.
+    """
+    bounds = tuple(float(bound) for bound in buckets)
+    if not bounds:
+        raise ValueError(f"histogram {name!r} needs at least one bucket bound")
+    for bound in bounds:
+        if not bound > 0:
+            raise ValueError(
+                f"histogram {name!r} bucket bounds must be positive, got {bound!r}"
+            )
+    for lower, upper in zip(bounds, bounds[1:]):
+        if upper <= lower:
+            raise ValueError(
+                f"histogram {name!r} bucket bounds must be sorted strictly "
+                f"ascending, got {upper!r} after {lower!r}"
+            )
+    return bounds
 
 
 def _format_value(value: float) -> str:
@@ -216,9 +285,7 @@ class Histogram(_Family):
         buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
     ) -> None:
         super().__init__(name, help_text, label_names, lock)
-        self.buckets = tuple(sorted(float(bound) for bound in buckets))
-        if not self.buckets:
-            raise ValueError(f"histogram {name!r} needs at least one bucket bound")
+        self.buckets = _validated_buckets(name, buckets)
 
     def observe(self, value: float, **labels: object) -> None:
         if not ENABLED:
@@ -312,8 +379,8 @@ class MetricsRegistry:
                         f"metric {name!r} already declared as {existing.kind}"
                         f"{existing.label_names}"
                     )
-                if buckets is not None and existing.buckets != tuple(  # type: ignore[attr-defined]
-                    sorted(float(bound) for bound in buckets)
+                if buckets is not None and existing.buckets != _validated_buckets(  # type: ignore[attr-defined]
+                    name, buckets
                 ):
                     raise ValueError(f"histogram {name!r} already declared with other buckets")
                 return existing
@@ -463,10 +530,12 @@ ENGINE_UNIT_SECONDS = REGISTRY.histogram(
     "repro_engine_unit_seconds",
     "Wall-clock seconds per work-stealing work unit, by unit kind.",
     labels=("kind",),
+    buckets=UNIT_BUCKETS,
 )
 ENGINE_SHARD_SECONDS = REGISTRY.histogram(
     "repro_engine_shard_seconds",
     "Wall-clock seconds per statically planned mining shard.",
+    buckets=UNIT_BUCKETS,
 )
 ENGINE_UNITS_TOTAL = REGISTRY.counter(
     "repro_engine_units_total",
@@ -535,6 +604,7 @@ SERVER_REQUEST_SECONDS = REGISTRY.histogram(
     "repro_server_request_seconds",
     "EventPushServer dispatch latency per request, by verb.",
     labels=("op",),
+    buckets=SERVING_BUCKETS,
 )
 SERVER_REQUESTS_TOTAL = REGISTRY.counter(
     "repro_server_requests_total",
@@ -558,6 +628,24 @@ SERVER_CONNECTIONS_TOTAL = REGISTRY.counter(
     "TCP connections accepted by the push server.",
 )
 
+# --- serving: per-rule analytics ------------------------------------
+RULE_POINTS_TOTAL = REGISTRY.counter(
+    "repro_rule_points_total",
+    "Temporal points per monitored rule, by outcome (opened/satisfied/violated).",
+    labels=("rule", "outcome"),
+)
+RULE_TRIE_ADVANCES_TOTAL = REGISTRY.counter(
+    "repro_rule_trie_advances_total",
+    "Premise-trie advances that armed a rule (its full premise matched).",
+    labels=("rule",),
+)
+RULE_ACTIVE_SECONDS = REGISTRY.histogram(
+    "repro_rule_active_seconds",
+    "Wall-clock from a rule's first opened point to its trace close.",
+    labels=("rule",),
+    buckets=UNIT_BUCKETS,
+)
+
 # --- serving: watch daemon ------------------------------------------
 DAEMON_CYCLE_SECONDS = REGISTRY.histogram(
     "repro_daemon_cycle_seconds",
@@ -571,6 +659,13 @@ DAEMON_CYCLES_TOTAL = REGISTRY.counter(
 DAEMON_SWAPS_TOTAL = REGISTRY.counter(
     "repro_daemon_swaps_total",
     "Hot swaps of the compiled rule set performed by the daemon.",
+)
+
+# --- observability self-monitoring ----------------------------------
+OBS_SPANS_DROPPED_TOTAL = REGISTRY.counter(
+    "repro_obs_spans_dropped_total",
+    "Finished spans lost to ring eviction or trace-file write failures.",
+    labels=("reason",),
 )
 
 # --- durability ------------------------------------------------------
@@ -603,7 +698,10 @@ def unit_observation(kind: str, seconds: float) -> Dict[str, object]:
     """
     delta = MetricsRegistry()
     delta.histogram(
-        ENGINE_UNIT_SECONDS.name, ENGINE_UNIT_SECONDS.help, ("kind",)
+        ENGINE_UNIT_SECONDS.name,
+        ENGINE_UNIT_SECONDS.help,
+        ("kind",),
+        buckets=ENGINE_UNIT_SECONDS.buckets,
     ).observe(seconds, kind=kind)
     delta.counter(ENGINE_UNITS_TOTAL.name, ENGINE_UNITS_TOTAL.help, ("kind",)).inc(kind=kind)
     return delta.snapshot()
@@ -612,7 +710,11 @@ def unit_observation(kind: str, seconds: float) -> Dict[str, object]:
 def shard_observation(seconds: float) -> Dict[str, object]:
     """A delta snapshot recording one executed mining shard."""
     delta = MetricsRegistry()
-    delta.histogram(ENGINE_SHARD_SECONDS.name, ENGINE_SHARD_SECONDS.help).observe(seconds)
+    delta.histogram(
+        ENGINE_SHARD_SECONDS.name,
+        ENGINE_SHARD_SECONDS.help,
+        buckets=ENGINE_SHARD_SECONDS.buckets,
+    ).observe(seconds)
     delta.counter(ENGINE_SHARDS_TOTAL.name, ENGINE_SHARDS_TOTAL.help).inc()
     return delta.snapshot()
 
@@ -625,6 +727,34 @@ def merge_outcome_metrics(outcomes: Iterable[object]) -> None:
         delta = getattr(outcome, "metrics", None)
         if delta:
             REGISTRY.merge(delta)
+
+
+def record_rule_close(
+    rule: str,
+    opened: int,
+    satisfied: int,
+    violated: int,
+    advances: int,
+    active_seconds: Optional[float] = None,
+) -> None:
+    """Mirror one rule's per-trace tallies onto the analytics families.
+
+    Called once per rule per closed trace by ``StreamingMonitor.end_trace``
+    — never at per-event sites, so the monitoring hot loop stays free of
+    registry locks and the mirrored totals merge order-free across shards.
+    """
+    if not ENABLED:
+        return
+    if opened:
+        RULE_POINTS_TOTAL.inc(opened, rule=rule, outcome="opened")
+    if satisfied:
+        RULE_POINTS_TOTAL.inc(satisfied, rule=rule, outcome="satisfied")
+    if violated:
+        RULE_POINTS_TOTAL.inc(violated, rule=rule, outcome="violated")
+    if advances:
+        RULE_TRIE_ADVANCES_TOTAL.inc(advances, rule=rule)
+    if active_seconds is not None:
+        RULE_ACTIVE_SECONDS.observe(active_seconds, rule=rule)
 
 
 def record_mining_stats(stats: object, backend: str) -> None:

@@ -57,6 +57,7 @@ from ..engine import ExecutionBackend
 from ..ingest.formats import format_for_path
 from ..obs import metrics as obs_metrics
 from ..obs import tracing
+from ..obs.httpexpo import MetricsHTTPServer
 from ..ingest.incremental import IncrementalMiner, RefreshReport
 from ..ingest.store import BatchInfo, TraceStore
 from ..rules.rule import RecurrentRule
@@ -140,6 +141,14 @@ class WatchDaemon:
         with it.
     push_host / push_shards / push_queue_depth:
         Bind host and pool sizing for push mode.
+    http_port:
+        When given, host the HTTP exposition sidecar
+        (:class:`~repro.obs.httpexpo.MetricsHTTPServer`) on this port
+        (``0`` = ephemeral; the bound address is :attr:`http_address`):
+        ``/metrics``, ``/healthz`` (fed by this daemon's backoff state and
+        the pool's shard liveness) and ``/statusz``.
+    http_host:
+        Bind host for the HTTP sidecar (default loopback).
     """
 
     def __init__(
@@ -157,6 +166,8 @@ class WatchDaemon:
         push_host: str = "127.0.0.1",
         push_shards: int = 4,
         push_queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        http_port: Optional[int] = None,
+        http_host: str = "127.0.0.1",
     ) -> None:
         # Resolved so a restart with a different spelling of the same
         # directory (relative vs absolute, trailing ..) still recognises
@@ -203,14 +214,29 @@ class WatchDaemon:
             )
             self.push_server = EventPushServer(self.pool, host=push_host, port=push_port)
             self.push_server.start()
+        #: HTTP exposition sidecar (``/metrics``, ``/healthz``, ``/statusz``).
+        self.http_server: Optional[MetricsHTTPServer] = None
+        if http_port is not None:
+            self.http_server = MetricsHTTPServer(
+                host=http_host, port=http_port, pool=self.pool, daemon=self
+            )
+            self.http_server.start()
 
     @property
     def push_address(self) -> Optional[Tuple[str, int]]:
         """The push front end's bound ``(host, port)``; ``None`` without push mode."""
         return self.push_server.address if self.push_server is not None else None
 
+    @property
+    def http_address(self) -> Optional[Tuple[str, int]]:
+        """The HTTP sidecar's bound ``(host, port)``; ``None`` when not hosted."""
+        return self.http_server.address if self.http_server is not None else None
+
     def close(self) -> None:
-        """Stop push mode (server, then pool).  Safe to call repeatedly."""
+        """Stop the sidecars (HTTP, server, then pool).  Safe to call repeatedly."""
+        if self.http_server is not None:
+            self.http_server.close()
+            self.http_server = None
         if self.push_server is not None:
             self.push_server.close()
             self.push_server = None

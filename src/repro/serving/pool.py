@@ -52,6 +52,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 from ..core.errors import MonitoringError, ServingTimeout, SessionLost
 from ..core.events import EventLabel
 from ..obs import metrics as obs_metrics
+from ..obs import tracing
 from ..testing import faults
 from ..verification.violations import MonitoringReport
 from .compile import CompiledRuleSet, RuleSource, compile_rules
@@ -151,6 +152,7 @@ class _Session:
         "shard",
         "events_fed",
         "last_seq",
+        "trace",
     )
 
     def __init__(
@@ -172,6 +174,10 @@ class _Session:
         # whose reply was lost in a connection drop re-send the batch
         # without double-feeding (idempotent retry).
         self.last_seq: Optional[int] = None
+        # Latest wire trace context ``(trace_id, parent_span_id)`` stamped
+        # by the producer, so the shard worker's spans join the client's
+        # trace; ``None`` when the producer does not trace.
+        self.trace: Optional[Tuple[str, Optional[str]]] = None
 
 
 class _Shard:
@@ -183,6 +189,11 @@ class _Shard:
         self.lock = threading.Lock()
         #: ``(admission index, final report)`` of every session closed here.
         self.closed: List[Tuple[int, MonitoringReport]] = []
+        #: Per-rule analytics folded from closed sessions' monitors:
+        #: ``signature -> [opened, satisfied, violated, trie_advances]``.
+        #: Plain int adds under the shard lock — commutative, so the pool's
+        #: cross-shard merge is order-free like the worker metric deltas.
+        self.rule_analytics: Dict[str, List[int]] = {}
         self.events_processed = 0
         self.sessions_closed = 0
         self.errors = 0
@@ -215,21 +226,54 @@ class _Shard:
                 if kind == "events":
                     _, session, events = item
                     monitor = session.monitor
-                    for event in events:
-                        monitor.feed(event)
+                    # Child span under the producer's wire trace context —
+                    # one span per *batch*, never per event.
+                    batch_span = (
+                        tracing.remote_span(
+                            "pool.batch",
+                            session.trace[0],
+                            session.trace[1],
+                            shard=self.index,
+                            events=len(events),
+                        )
+                        if tracing.ACTIVE is not None and session.trace is not None
+                        else tracing._NOOP
+                    )
+                    with batch_span:
+                        for event in events:
+                            monitor.feed(event)
                     session.events_fed += len(events)
                     with self.lock:
                         self.events_processed += len(events)
                     obs_metrics.POOL_EVENTS_TOTAL.inc(len(events))
                 else:  # "end"
                     _, session, ticket = item
+                    close_span = (
+                        tracing.remote_span(
+                            "pool.close",
+                            session.trace[0],
+                            session.trace[1],
+                            shard=self.index,
+                            session=session.session_id,
+                        )
+                        if tracing.ACTIVE is not None and session.trace is not None
+                        else tracing._NOOP
+                    )
                     # The trace was opened (named) at admission, so a
                     # zero-event session is simply a zero-length trace: its
                     # report still carries the rule set's zero point tallies.
-                    report = session.monitor.end_trace()
+                    with close_span:
+                        report = session.monitor.end_trace()
                     with self.lock:
                         self.closed.append((session.index, report))
                         self.sessions_closed += 1
+                        for key, values in session.monitor.analytics.items():
+                            slot = self.rule_analytics.get(key)
+                            if slot is None:
+                                self.rule_analytics[key] = list(values)
+                            else:
+                                for position in range(4):
+                                    slot[position] += values[position]
                     obs_metrics.POOL_SESSIONS_CLOSED_TOTAL.inc()
                     ticket._resolve(report)
             except BaseException as error:
@@ -447,9 +491,16 @@ class MonitorPool:
     # ------------------------------------------------------------------ #
     # The hot path: feeding events
     # ------------------------------------------------------------------ #
-    def feed(self, session_id: str, event: EventLabel, *, seq: Optional[int] = None) -> str:
+    def feed(
+        self,
+        session_id: str,
+        event: EventLabel,
+        *,
+        seq: Optional[int] = None,
+        trace: Optional[Tuple[str, Optional[str]]] = None,
+    ) -> str:
         """Queue one event for ``session_id``; :data:`ACCEPTED` or :data:`BUSY`."""
-        return self.feed_batch(session_id, (event,), seq=seq)
+        return self.feed_batch(session_id, (event,), seq=seq, trace=trace)
 
     def feed_batch(
         self,
@@ -457,6 +508,7 @@ class MonitorPool:
         events: Iterable[EventLabel],
         *,
         seq: Optional[int] = None,
+        trace: Optional[Tuple[str, Optional[str]]] = None,
     ) -> str:
         """Queue a batch of events for one session, atomically.
 
@@ -476,6 +528,10 @@ class MonitorPool:
         If the session's shard crashed since the last contact, the first
         call under its id answers :data:`SESSION_LOST` (once); the id is
         then free to re-admit.
+
+        ``trace`` is an optional ``(trace_id, parent_span_id)`` wire trace
+        context; the shard worker opens its per-batch span as a child of
+        it when tracing is armed (see :mod:`repro.obs.tracing`).
         """
         batch = tuple(events)
         with self._lock:
@@ -500,6 +556,7 @@ class MonitorPool:
                     monitor,
                     shard,
                 )
+                session.trace = trace
                 try:
                     shard.queue.put_nowait(("events", session, batch))
                 except queue.Full:
@@ -517,6 +574,8 @@ class MonitorPool:
                 # Idempotent re-send: the batch was already accepted, only
                 # its reply was lost.  Acknowledge without re-queuing.
                 return ACCEPTED
+            if trace is not None:
+                session.trace = trace
             try:
                 session.shard.queue.put_nowait(("events", session, batch))
             except queue.Full:
@@ -526,7 +585,12 @@ class MonitorPool:
                 session.last_seq = seq
         return ACCEPTED
 
-    def end_session(self, session_id: str) -> Optional[SessionTicket]:
+    def end_session(
+        self,
+        session_id: str,
+        *,
+        trace: Optional[Tuple[str, Optional[str]]] = None,
+    ) -> Optional[SessionTicket]:
         """Close a session: queue its end behind its pending events.
 
         Returns a :class:`SessionTicket` to wait on, or ``None`` when the
@@ -545,6 +609,8 @@ class MonitorPool:
             session = self._sessions.get(session_id)
             if session is None:
                 raise MonitoringError(f"unknown session {session_id!r}")
+            if trace is not None:
+                session.trace = trace
             ticket = SessionTicket()
             try:
                 session.shard.queue.put_nowait(("end", session, ticket))
@@ -600,6 +666,46 @@ class MonitorPool:
                 entries.extend(shard.closed)
         entries.sort(key=lambda entry: entry[0])
         return MonitoringReport.merge_all(report for _, report in entries)
+
+    def rule_analytics(self) -> Dict[str, Dict[str, int]]:
+        """Per-rule serving analytics merged across shards (closed sessions).
+
+        ``signature -> {"opened", "satisfied", "violated", "trie_advances"}``
+        — the ANALYTICS wire verb's payload and the rule-ranking feed.
+        Each shard's tallies are read under its own lock and summed
+        key-wise; addition commutes, so the merge is order-free exactly
+        like the engine's worker metric deltas.  Sessions still open
+        contribute nothing until they close.
+        """
+        merged: Dict[str, List[int]] = {}
+        for shard in self._shards:
+            with shard.lock:
+                entries = [(key, list(values)) for key, values in shard.rule_analytics.items()]
+            for key, values in entries:
+                slot = merged.get(key)
+                if slot is None:
+                    merged[key] = values
+                else:
+                    for position in range(4):
+                        slot[position] += values[position]
+        return {
+            key: {
+                "opened": values[0],
+                "satisfied": values[1],
+                "violated": values[2],
+                "trie_advances": values[3],
+            }
+            for key, values in sorted(merged.items())
+        }
+
+    def shard_liveness(self) -> List[bool]:
+        """Whether each shard's worker thread is currently alive.
+
+        A dead entry is transient — the supervisor restarts crashed shards
+        within one poll interval — but a readiness probe (``/healthz``)
+        reports it so flapping shards are visible.
+        """
+        return [shard.thread.is_alive() for shard in self._shards]
 
     @property
     def active_sessions(self) -> int:

@@ -23,6 +23,7 @@ so clients may pipeline freely.  The verbs:
 ``END``       close a session; the reply carries its final report
 ``STATS``     pool/server counters (shards, queues, generations)
 ``METRICS``   the full metrics registry, Prometheus text format
+``ANALYTICS`` per-rule serving counters merged across the pool's shards
 ``REPORT``    the aggregate over all closed sessions
 ``SWAP``      hot-swap the served rule set to a new compile generation
 ``PING``      liveness probe (reply ``PONG``)
@@ -49,6 +50,13 @@ convenience verbs, a pipelined bulk mode, socket timeouts surfacing as
 exponential-backoff reconnect with idempotent re-send of unanswered
 frames.  Used by the bench driver, the protocol tests and
 ``examples/push_client.py``.
+
+When tracing is armed (``repro.obs.tracing``), frames carry a trace
+context: the client stamps its current ``trace``/``parent`` span ids into
+each request payload, and the server opens a ``server.request`` child span
+under the received ids — so one trace threads client → server → pool shard
+(see ``docs/observability.md``).  Both sides degrade to plain frames when
+tracing is disarmed; unknown extra fields are ignored by either end.
 """
 
 from __future__ import annotations
@@ -65,6 +73,7 @@ from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.errors import DataFormatError, MonitoringError, ServingTimeout, SessionLost
 from ..obs import metrics as obs_metrics
+from ..obs import tracing
 from ..specs.repository import SpecificationRepository
 from ..testing import faults
 from ..testing.faults import FaultInjected
@@ -80,7 +89,18 @@ _LENGTH = struct.Struct(">I")
 #: anything else is bucketed under ``"other"`` so a misbehaving client
 #: cannot inflate the metric label space.
 _KNOWN_OPS = frozenset(
-    {"EVENT", "BATCH", "END", "STATS", "METRICS", "REPORT", "SWAP", "PING", "SHUTDOWN"}
+    {
+        "EVENT",
+        "BATCH",
+        "END",
+        "STATS",
+        "METRICS",
+        "ANALYTICS",
+        "REPORT",
+        "SWAP",
+        "PING",
+        "SHUTDOWN",
+    }
 )
 
 
@@ -133,6 +153,27 @@ def _string_field(payload: Dict[str, object], field: str) -> str:
     return value
 
 
+def _trace_field(payload: Dict[str, object]) -> Optional[Tuple[str, Optional[str]]]:
+    """The frame's ``(trace_id, parent_span_id)``, or ``None`` when absent.
+
+    Wire values are untrusted: anything that is not a non-empty string is
+    treated as absent rather than rejected — trace context is best-effort
+    telemetry, never a reason to refuse a request.  When the handler's own
+    ``server.request`` span is open on this trace, it becomes the parent,
+    so downstream pool spans nest client → server → shard rather than
+    skipping the server tier.
+    """
+    trace = payload.get("trace")
+    if not isinstance(trace, str) or not trace:
+        return None
+    if tracing.ACTIVE is not None:
+        ids = tracing.current_ids()
+        if ids is not None and ids[0] == trace:
+            return trace, ids[1]
+    parent = payload.get("parent")
+    return trace, parent if isinstance(parent, str) and parent else None
+
+
 def _seq_field(payload: Dict[str, object]) -> Optional[int]:
     value = payload.get("seq")
     if value is None:
@@ -181,8 +222,19 @@ class _Handler(socketserver.StreamRequestHandler):
                     # Chaos hooks: drop the connection before (frame) or
                     # after (reply) the request takes effect.
                     faults.trigger("server.frame", key=str(frame_index))
+                request_span = (
+                    tracing.remote_span(
+                        "server.request",
+                        payload.get("trace"),
+                        payload.get("parent"),
+                        op=op_label,
+                    )
+                    if tracing.ACTIVE is not None and "trace" in payload
+                    else tracing._NOOP
+                )
                 try:
-                    reply, stop = front._dispatch(payload)
+                    with request_span:
+                        reply, stop = front._dispatch(payload)
                 except (
                     MonitoringError,
                     DataFormatError,
@@ -328,7 +380,9 @@ class EventPushServer:
         if op == "EVENT":
             session = _string_field(payload, "session")
             event = _string_field(payload, "event")
-            status = self.pool.feed(session, event, seq=_seq_field(payload))
+            status = self.pool.feed(
+                session, event, seq=_seq_field(payload), trace=_trace_field(payload)
+            )
             return self._feed_reply(status, session), False
         if op == "BATCH":
             session = _string_field(payload, "session")
@@ -337,12 +391,14 @@ class EventPushServer:
                 isinstance(event, str) for event in events
             ):
                 raise MonitoringError("BATCH needs an 'events' list of strings")
-            status = self.pool.feed_batch(session, events, seq=_seq_field(payload))
+            status = self.pool.feed_batch(
+                session, events, seq=_seq_field(payload), trace=_trace_field(payload)
+            )
             return self._feed_reply(status, session), False
         if op == "END":
             session = _string_field(payload, "session")
             try:
-                ticket = self.pool.end_session(session)
+                ticket = self.pool.end_session(session, trace=_trace_field(payload))
                 if ticket is None:
                     return {"op": "BUSY"}, False
                 report = ticket.wait(timeout=self.end_timeout)
@@ -367,6 +423,24 @@ class EventPushServer:
                 "op": "METRICS",
                 "content_type": "text/plain; version=0.0.4",
                 "text": obs_metrics.REGISTRY.render_text(),
+            }, False
+        if op == "ANALYTICS":
+            # Per-rule serving counters, merged order-free across shards.
+            # An optional integer "top" keeps only the N most-violated
+            # rules (ties broken by opened points, then rule id) so a
+            # dashboard polling a huge rule set gets a bounded reply.
+            rules = self.pool.rule_analytics()
+            top = payload.get("top")
+            if isinstance(top, int) and not isinstance(top, bool) and top >= 0:
+                ranked = sorted(
+                    rules.items(),
+                    key=lambda item: (-item[1]["violated"], -item[1]["opened"], item[0]),
+                )
+                rules = dict(ranked[:top])
+            return {
+                "op": "ANALYTICS",
+                "generation": self.pool.generation,
+                "rules": rules,
             }, False
         if op == "REPORT":
             limit = payload.get("limit")
@@ -489,7 +563,18 @@ class PushClient:
 
     # -- framing ------------------------------------------------------- #
     def send(self, payload: Dict[str, object]) -> None:
-        """Write one request frame without waiting for its reply."""
+        """Write one request frame without waiting for its reply.
+
+        With tracing armed, the caller's current trace context is stamped
+        into the payload (``trace``/``parent`` fields) before the frame is
+        queued, so a retried re-send carries the same ids the original
+        did.  A payload that already names a ``trace`` is left alone.
+        """
+        if tracing.ACTIVE is not None and "trace" not in payload:
+            trace_id, parent = tracing.ensure_context()
+            payload["trace"] = trace_id
+            if parent is not None:
+                payload["parent"] = parent
         self._unanswered.append(payload)
         if self._file is None:
             if not self._retries:
@@ -614,6 +699,16 @@ class PushClient:
         if reply.get("op") != "METRICS" or not isinstance(text, str):
             raise ProtocolError(f"unexpected METRICS reply: {reply!r}")
         return text
+
+    def analytics(self, top: Optional[int] = None) -> Dict[str, object]:
+        """Fetch the per-rule serving analytics (optionally only the top N)."""
+        payload: Dict[str, object] = {"op": "ANALYTICS"}
+        if top is not None:
+            payload["top"] = top
+        reply = self.request(payload)
+        if reply.get("op") != "ANALYTICS" or not isinstance(reply.get("rules"), dict):
+            raise ProtocolError(f"unexpected ANALYTICS reply: {reply!r}")
+        return reply
 
     def report(self, limit: Optional[int] = None) -> Dict[str, object]:
         payload: Dict[str, object] = {"op": "REPORT"}

@@ -32,13 +32,26 @@ offline monitor's per-trace re-scans are quadratic.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence as TypingSequence
+import time
+from typing import Dict, Iterable, List, Optional, Sequence as TypingSequence, Tuple
 
 from ..core.errors import MonitoringError
 from ..core.events import EventLabel
 from ..core.sequence import SequenceDatabase
+from ..obs import metrics as obs_metrics
 from ..verification.violations import MonitoringReport, RuleViolation
 from .compile import CompiledRuleSet, NodeId, RuleSource, Symbol, compile_rules
+
+
+def rule_key(rule) -> str:
+    """The stable string id the analytics layer keys rules by.
+
+    Shape only — ``"open -> use, close"`` — never the mined statistics:
+    the same rule re-mined at a new support must keep accumulating under
+    one key, and the key must survive JSON framing (the ``ANALYTICS``
+    verb) and Prometheus label quoting unchanged.
+    """
+    return f"{', '.join(rule.premise)} -> {', '.join(rule.consequent)}"
 
 
 class _ConsequentTracker:
@@ -51,14 +64,19 @@ class _ConsequentTracker:
     stays ascending — end-of-trace violation order is position order.
     """
 
-    __slots__ = ("stages", "opened", "satisfied")
+    __slots__ = ("stages", "opened", "satisfied", "first_open")
 
     def __init__(self, consequent_length: int) -> None:
         self.stages: List[List[int]] = [[] for _ in range(consequent_length)]
         self.opened = 0
         self.satisfied = 0
+        #: perf_counter at the first opened point — the start of the rule's
+        #: "active" window for the per-rule latency histogram.
+        self.first_open: Optional[float] = None
 
     def open(self, position: int) -> None:
+        if self.opened == 0:
+            self.first_open = time.perf_counter()
         self.opened += 1
         self.stages[0].append(position)
 
@@ -91,12 +109,16 @@ class _TraceRun:
         "point_watch",
         "consequent_watch",
         "trackers",
+        "armed_counts",
     )
 
     def __init__(self, compiled: CompiledRuleSet, trace_index: int, name: Optional[str]) -> None:
         self.trace_index = trace_index
         self.name = name
         self.position = -1
+        #: rule id -> times the premise trie armed the rule this trace
+        #: (plain int bumps on the arming path only — never per event).
+        self.armed_counts: Dict[int, int] = {}
         #: symbol -> trie nodes reachable from an already-reached node via
         #: that symbol.  This is the trie's "failure function" in disguise:
         #: a mismatching event touches none of the waiting nodes.
@@ -115,6 +137,7 @@ class _TraceRun:
             self.node_watch.setdefault(symbol, []).append(child)
         for rule_id in compiled.arm_at_node[node]:
             self.point_watch.setdefault(compiled.last_symbol[rule_id], []).append(rule_id)
+            self.armed_counts[rule_id] = self.armed_counts.get(rule_id, 0) + 1
 
     def feed(self, compiled: CompiledRuleSet, event: EventLabel) -> None:
         self.position += 1
@@ -140,8 +163,21 @@ class _TraceRun:
             for node in reached:
                 self._reach(compiled, node)
 
-    def close(self, compiled: CompiledRuleSet) -> MonitoringReport:
-        """Finish the trace: unmatched pending points become violations."""
+    def close(
+        self,
+        compiled: CompiledRuleSet,
+        analytics: Optional[Dict[str, Tuple[int, int, int, int, Optional[float]]]] = None,
+    ) -> MonitoringReport:
+        """Finish the trace: unmatched pending points become violations.
+
+        ``analytics``, when given, is filled with this trace's per-rule
+        tallies — ``rule key -> (opened, satisfied, violated, armings,
+        first_open_perf_counter)`` (the key is :func:`rule_key`, a plain
+        string so the tallies survive JSON framing) — for the serving
+        analytics layer.  The report itself is untouched by the
+        collection: the pool parity suites pin it byte-identical with
+        analytics on.
+        """
         report = MonitoringReport()
         for rule_id, rule in enumerate(compiled.rules):
             tracker = self.trackers.get(rule_id)
@@ -150,9 +186,22 @@ class _TraceRun:
             report.per_rule_points[key] = report.per_rule_points.get(key, 0) + opened
             report.total_points += opened
             if tracker is None:
+                if analytics is not None:
+                    armed = self.armed_counts.get(rule_id, 0)
+                    if armed:
+                        analytics[rule_key(rule)] = (0, 0, 0, armed, None)
                 continue
             report.satisfied_points += tracker.satisfied
-            for position in tracker.pending_positions():
+            pending = tracker.pending_positions()
+            if analytics is not None:
+                analytics[rule_key(rule)] = (
+                    opened,
+                    tracker.satisfied,
+                    len(pending),
+                    self.armed_counts.get(rule_id, 0),
+                    tracker.first_open,
+                )
+            for position in pending:
                 report.violations.append(
                     RuleViolation(
                         rule=rule,
@@ -202,6 +251,12 @@ class StreamingMonitor:
         self.traces_seen = 0
         #: Events consumed across completed *and* the in-flight trace.
         self.events_seen = 0
+        #: Cumulative per-rule analytics over every closed trace:
+        #: ``signature -> [opened, satisfied, violated, trie_advances]``.
+        #: Plain int adds folded at trace close (never per event), so
+        #: accumulation is order-free and cheap; :meth:`rule_analytics`
+        #: exposes the dict-shaped view the ANALYTICS wire verb serves.
+        self.analytics: Dict[str, List[int]] = {}
 
     # ------------------------------------------------------------------ #
     # Incremental consumption
@@ -235,11 +290,30 @@ class StreamingMonitor:
         """
         if self._run is None:
             raise MonitoringError("no trace is open; feed events or begin_trace() first")
-        report = self._run.close(self.compiled)
+        trace_analytics: Dict[str, Tuple[int, int, int, int, Optional[float]]] = {}
+        report = self._run.close(self.compiled, trace_analytics)
         self._run = None
         self._next_trace_index += 1
         self.traces_seen += 1
         self._combined.merge(report)
+        closed_at = time.perf_counter()
+        for key, (opened, satisfied, violated, armed, first_open) in trace_analytics.items():
+            slot = self.analytics.get(key)
+            if slot is None:
+                self.analytics[key] = [opened, satisfied, violated, armed]
+            else:
+                slot[0] += opened
+                slot[1] += satisfied
+                slot[2] += violated
+                slot[3] += armed
+            obs_metrics.record_rule_close(
+                key,
+                opened,
+                satisfied,
+                violated,
+                armed,
+                closed_at - first_open if first_open is not None else None,
+            )
         return report
 
     def check_trace(
@@ -256,6 +330,24 @@ class StreamingMonitor:
     def report(self) -> MonitoringReport:
         """The cumulative report over every trace ended so far (a copy)."""
         return MonitoringReport().merge(self._combined)
+
+    def rule_analytics(self) -> Dict[str, Dict[str, int]]:
+        """Per-rule serving analytics over every closed trace (a copy).
+
+        ``signature -> {"opened", "satisfied", "violated", "trie_advances"}``
+        — the counters the rule-ranking loop consumes.  Values are plain
+        sums over closed traces, so merging two monitors' analytics is
+        key-wise addition in any order.
+        """
+        return {
+            key: {
+                "opened": values[0],
+                "satisfied": values[1],
+                "violated": values[2],
+                "trie_advances": values[3],
+            }
+            for key, values in self.analytics.items()
+        }
 
     def check_database(self, database: SequenceDatabase) -> MonitoringReport:
         """Monitor every trace of a database; returns their combined report.

@@ -1,0 +1,132 @@
+"""HTTP exposition sidecar tests: real-socket GETs against the three
+endpoints, degraded health, and the CLI/daemon plumbing that hosts it."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.httpexpo import MetricsHTTPServer
+from repro.rules.rule import RecurrentRule
+from repro.serving.pool import MonitorPool
+
+RULES = [
+    RecurrentRule(
+        premise=("open",), consequent=("close",), s_support=2, i_support=2, confidence=1.0
+    ),
+]
+
+
+def _get(address, path):
+    host, port = address
+    try:
+        with urllib.request.urlopen(f"http://{host}:{port}{path}", timeout=10) as response:
+            return response.status, response.headers.get("Content-Type"), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.headers.get("Content-Type"), error.read()
+
+
+@pytest.fixture
+def pool():
+    with MonitorPool(RULES, shards=2, queue_depth=64) as live_pool:
+        yield live_pool
+
+
+@pytest.fixture
+def expo(pool):
+    with MetricsHTTPServer(port=0, pool=pool) as server:
+        yield server
+
+
+class TestEndpoints:
+    def test_metrics_serves_prometheus_text(self, expo, pool):
+        pool.feed_batch("s1", ["open", "close"])
+        pool.end_session("s1").wait(timeout=10)
+        status, content_type, body = _get(expo.address, "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        text = body.decode("utf-8")
+        assert "# TYPE repro_pool_events_total counter" in text
+        # The scrape refreshed the pool's level gauges first.
+        assert "repro_pool_sessions_active 0" in text
+
+    def test_healthz_ok_while_shards_live(self, expo):
+        status, content_type, body = _get(expo.address, "/healthz")
+        assert status == 200
+        assert content_type == "application/json"
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["checks"]["pool"]["shards"] == 2
+        assert payload["checks"]["pool"]["shards_alive"] == 2
+
+    def test_healthz_degraded_when_daemon_backing_off(self, pool):
+        class FakeDaemon:
+            consecutive_failures = 3
+            current_backoff = 16.0
+            last_error = "OSError: disk on fire"
+
+        with MetricsHTTPServer(port=0, pool=pool, daemon=FakeDaemon()) as expo:
+            status, _, body = _get(expo.address, "/healthz")
+        assert status == 503
+        payload = json.loads(body)
+        assert payload["status"] == "degraded"
+        assert payload["checks"]["daemon"]["consecutive_failures"] == 3
+        assert "disk on fire" in payload["checks"]["daemon"]["last_error"]
+
+    def test_statusz_carries_pool_stats_and_registry(self, expo):
+        status, content_type, body = _get(expo.address, "/statusz")
+        assert status == 200
+        assert content_type == "application/json"
+        payload = json.loads(body)
+        assert payload["pool"]["shards"] == 2
+        assert "metrics" in payload
+
+    def test_unknown_path_is_404(self, expo):
+        status, _, _ = _get(expo.address, "/nope")
+        assert status == 404
+
+    def test_bare_server_without_components(self):
+        # No pool, no daemon: still scrapes, health is vacuously ok.
+        with MetricsHTTPServer(port=0) as expo:
+            assert _get(expo.address, "/metrics")[0] == 200
+            status, _, body = _get(expo.address, "/healthz")
+        assert status == 200
+        assert json.loads(body)["checks"] == {}
+
+
+class TestLifecycle:
+    def test_start_is_idempotent_and_close_releases_port(self, pool):
+        expo = MetricsHTTPServer(port=0, pool=pool)
+        first = expo.start()
+        assert expo.start() == first
+        expo.close()
+        expo.close()  # idempotent
+        with pytest.raises(OSError):
+            _get(first, "/metrics")
+
+    def test_daemon_hosts_and_closes_the_sidecar(self, tmp_path):
+        from repro.rules.config import RuleMiningConfig
+        from repro.rules.nonredundant_miner import NonRedundantRecurrentRuleMiner
+        from repro.serving.daemon import WatchDaemon
+
+        watch_dir = tmp_path / "watch"
+        watch_dir.mkdir()
+        daemon = WatchDaemon(
+            watch_dir,
+            tmp_path / "store",
+            NonRedundantRecurrentRuleMiner(RuleMiningConfig(min_s_support=2)),
+            push_port=0,
+            http_port=0,
+        )
+        try:
+            address = daemon.http_address
+            assert address is not None
+            status, _, body = _get(address, "/healthz")
+            assert status == 200
+            assert json.loads(body)["checks"]["pool"]["shards_alive"] > 0
+        finally:
+            daemon.close()
+        assert daemon.http_address is None
+        with pytest.raises(OSError):
+            _get(address, "/healthz")

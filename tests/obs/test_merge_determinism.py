@@ -117,3 +117,102 @@ def test_muted_runs_ship_no_deltas():
         obs_metrics.set_enabled(True)
     assert ENGINE_SHARDS_TOTAL.value() == 0
     assert MINING_COUNTER_TOTAL.value(name="visited") == 0
+
+
+# --------------------------------------------------------------------- #
+# Scrapes racing merges: a render must always be a consistent exposition.
+# --------------------------------------------------------------------- #
+_BUCKETS = (0.01, 0.1, 1.0)
+
+observations_strategy = st.lists(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["open", "close", "swap"]),
+            st.integers(min_value=1, max_value=5),
+            st.floats(min_value=0.001, max_value=2.0),
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    min_size=2,
+    max_size=12,
+)
+
+
+def _delta_snapshot(observations):
+    """What a worker ships: a throwaway registry's snapshot."""
+    delta = obs_metrics.MetricsRegistry()
+    ops = delta.counter("race_ops_total", "ops", labels=("op",))
+    seconds = delta.histogram("race_seconds", "dur", labels=("op",), buckets=_BUCKETS)
+    for op, amount, duration in observations:
+        ops.inc(amount, op=op)
+        seconds.observe(duration, op=op)
+    return delta.snapshot()
+
+
+def _assert_consistent_exposition(text):
+    """Every scrape, mid-merge or not, is a well-formed, self-consistent
+    exposition: numeric samples, monotone cumulative buckets, and +Inf /
+    _count / raw-increment agreement within every histogram series."""
+    series = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        assert name and " " not in value, f"malformed sample line: {line!r}"
+        series[name] = float(value)
+    for op in ("open", "close", "swap"):
+        bounds = [f'{bound:g}' for bound in _BUCKETS]
+        cumulative = [
+            series.get(f'race_seconds_bucket{{op="{op}",le="{b}"}}', 0.0) for b in bounds
+        ]
+        assert cumulative == sorted(cumulative), f"buckets not monotone for {op}"
+        inf = series.get(f'race_seconds_bucket{{op="{op}",le="+Inf"}}', 0.0)
+        count = series.get(f'race_seconds_count{{op="{op}"}}', 0.0)
+        assert inf == count
+        assert cumulative[-1] <= count if cumulative else True
+    return series
+
+
+@given(rounds=observations_strategy)
+@settings(max_examples=15, deadline=None)
+def test_concurrent_scrapes_race_delta_merges(rounds):
+    """METRICS scrapes interleaving worker-delta merges stay consistent.
+
+    One thread folds worker deltas into a shared registry (the coordinator
+    path) while the main thread scrapes continuously; every intermediate
+    exposition must parse and satisfy the per-family invariants, and the
+    final totals must equal the exact sums — every delta exactly once.
+    """
+    import threading
+
+    registry = obs_metrics.MetricsRegistry()
+    registry.counter("race_ops_total", "ops", labels=("op",))
+    registry.histogram("race_seconds", "dur", labels=("op",), buckets=_BUCKETS)
+    snapshots = [_delta_snapshot(observations) for observations in rounds]
+
+    merged = threading.Event()
+
+    def merge_all():
+        for snapshot in snapshots:
+            registry.merge(snapshot)
+        merged.set()
+
+    merger = threading.Thread(target=merge_all)
+    merger.start()
+    scrapes = 0
+    while not merged.is_set() or scrapes == 0:
+        _assert_consistent_exposition(registry.render_text())
+        scrapes += 1
+    merger.join()
+
+    final = _assert_consistent_exposition(registry.render_text())
+    expected_ops = {}
+    expected_count = {}
+    for observations in rounds:
+        for op, amount, _ in observations:
+            expected_ops[op] = expected_ops.get(op, 0) + amount
+            expected_count[op] = expected_count.get(op, 0) + 1
+    for op, total in expected_ops.items():
+        assert final[f'race_ops_total{{op="{op}"}}'] == total
+        assert final[f'race_seconds_count{{op="{op}"}}'] == expected_count[op]

@@ -62,9 +62,27 @@ class TestFamilies:
         with pytest.raises(ValueError):
             registry.counter("name_total", labels=("b",))
         histogram = registry.histogram("h", buckets=(1.0, 2.0))
-        assert registry.histogram("h", buckets=(2.0, 1.0)) is histogram
+        assert registry.histogram("h", buckets=(1.0, 2.0)) is histogram
         with pytest.raises(ValueError):
             registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_bucket_bounds_validated_at_declaration(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="at least one bucket"):
+            registry.histogram("empty", buckets=())
+        with pytest.raises(ValueError, match="positive"):
+            registry.histogram("neg", buckets=(-1.0, 2.0))
+        with pytest.raises(ValueError, match="positive"):
+            registry.histogram("zero", buckets=(0.0, 2.0))
+        with pytest.raises(ValueError, match="sorted strictly ascending"):
+            registry.histogram("unsorted", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError, match="sorted strictly ascending"):
+            registry.histogram("dup", buckets=(1.0, 1.0))
+        # Each family picks its own scale at declaration time.
+        fine = registry.histogram("fine_seconds", buckets=obs_metrics.SERVING_BUCKETS)
+        coarse = registry.histogram("coarse_seconds", buckets=obs_metrics.UNIT_BUCKETS)
+        assert fine.buckets[0] < DEFAULT_BUCKETS[0] < coarse.buckets[-1]
+        assert coarse.buckets[-1] > DEFAULT_BUCKETS[-1]
 
     def test_muted_records_are_dropped(self):
         registry = MetricsRegistry()

@@ -1,10 +1,14 @@
-"""Tests for span tracing: arming, ring bounds, JSONL output, CLI plumbing."""
+"""Tests for span tracing: arming, ring bounds, JSONL output, CLI plumbing,
+trace-context propagation and counted (never silent) span loss."""
 
 import json
+import os
+import threading
 
 import pytest
 
 from repro.obs import tracing
+from repro.obs.metrics import OBS_SPANS_DROPPED_TOTAL
 
 
 @pytest.fixture(autouse=True)
@@ -57,6 +61,152 @@ class TestSpan:
         assert tracing.ACTIVE is second and first is not second
         tracing.reset()
         assert tracing.ACTIVE is None
+
+
+class TestTraceContext:
+    def test_nested_spans_share_trace_and_link_parent(self):
+        collector = tracing.install()
+        with tracing.span("outer"):
+            with tracing.span("inner"):
+                pass
+        inner, outer = collector.snapshot()
+        assert inner["name"] == "inner" and outer["name"] == "outer"
+        assert inner["trace"] == outer["trace"]
+        assert inner["parent"] == outer["span"]
+        assert "parent" not in outer
+        assert inner["span"] != outer["span"]
+
+    def test_sibling_traces_are_distinct(self):
+        collector = tracing.install()
+        with tracing.span("a"):
+            pass
+        with tracing.span("b"):
+            pass
+        first, second = collector.snapshot()
+        assert first["trace"] != second["trace"]
+
+    def test_ensure_context_inside_span_is_that_span(self):
+        tracing.install()
+        with tracing.span("outer"):
+            trace_id, span_id = tracing.ensure_context()
+            assert (trace_id, span_id) == tracing.current_ids()
+            assert span_id is not None
+
+    def test_ensure_context_ambient_is_stable_per_thread(self):
+        tracing.install()
+        assert tracing.current_ids() is None
+        first = tracing.ensure_context()
+        second = tracing.ensure_context()
+        assert first == second
+        assert first[1] is None  # no parent span outside any span
+        other = []
+        thread = threading.Thread(target=lambda: other.append(tracing.ensure_context()))
+        thread.start()
+        thread.join()
+        assert other[0][0] != first[0]  # each thread gets its own trace
+
+    def test_remote_span_continues_wire_context(self):
+        collector = tracing.install()
+        with tracing.remote_span("server.request", "cafe1234cafe1234", "beef5678beef5678"):
+            pass
+        (entry,) = collector.snapshot()
+        assert entry["trace"] == "cafe1234cafe1234"
+        assert entry["parent"] == "beef5678beef5678"
+
+    def test_remote_span_ignores_junk_wire_ids(self):
+        collector = tracing.install()
+        with tracing.remote_span("server.request", 42, ["junk"]):
+            pass
+        (entry,) = collector.snapshot()
+        # Falls back to a fresh local trace instead of propagating junk.
+        assert entry["trace"] not in (42, "42")
+        assert "parent" not in entry
+
+    def test_adopt_parents_top_level_spans(self):
+        collector = tracing.install()
+        tracing.adopt("feed0000feed0000", "abad1deaabad1dea")
+        try:
+            with tracing.span("engine.unit"):
+                pass
+        finally:
+            tracing.adopt(None)
+        (entry,) = collector.snapshot()
+        assert entry["trace"] == "feed0000feed0000"
+        assert entry["parent"] == "abad1deaabad1dea"
+
+
+class TestSpanLoss:
+    def test_ring_eviction_increments_dropped_counter(self):
+        before = OBS_SPANS_DROPPED_TOTAL.value(reason="ring")
+        tracing.install(ring_size=2)
+        for index in range(5):
+            with tracing.span("s", i=index):
+                pass
+        assert OBS_SPANS_DROPPED_TOTAL.value(reason="ring") == before + 3
+
+    def test_write_failure_increments_dropped_counter_keeps_ring(self, tmp_path):
+        before = OBS_SPANS_DROPPED_TOTAL.value(reason="write")
+        collector = tracing.install(str(tmp_path / "trace.jsonl"))
+        with tracing.span("ok"):
+            pass
+        collector._file.close()  # simulate the handle dying under us
+        collector._file = open(os.devnull, "w")
+        collector._file.close()  # a closed handle raises ValueError on write
+        with tracing.span("lost"):
+            pass
+        assert OBS_SPANS_DROPPED_TOTAL.value(reason="write") == before + 1
+        # The span itself survives in the ring; only the file is incomplete.
+        assert [entry["name"] for entry in collector.snapshot()] == ["ok", "lost"]
+
+
+class TestWorkerShipping:
+    def test_drain_shipped_only_when_shipping(self):
+        tracing.install()
+        with tracing.span("s"):
+            pass
+        assert tracing.drain_shipped() is None  # coordinator collector: no
+        tracing.reset()
+        assert tracing.drain_shipped() is None  # disarmed: no
+        tracing.install_shipping()
+        assert tracing.shipping()
+        assert tracing.drain_shipped() is None  # nothing recorded yet
+        with tracing.span("engine.unit", root="a"):
+            pass
+        batch = tracing.drain_shipped()
+        assert batch is not None and [e["name"] for e in batch] == ["engine.unit"]
+        assert tracing.drain_shipped() is None  # drained
+
+    def test_absorb_outcome_spans_folds_batches(self):
+        class Outcome:
+            def __init__(self, spans):
+                self.spans = spans
+
+        shipped = ({"name": "engine.unit", "ts": 1.0, "dur": 0.1, "pid": 999},)
+        tracing.absorb_outcome_spans([Outcome(shipped)])  # disarmed: no-op
+        collector = tracing.install()
+        tracing.absorb_outcome_spans([Outcome(shipped), Outcome(None)])
+        assert [entry["pid"] for entry in collector.snapshot()] == [999]
+
+    def test_process_backend_ships_worker_spans_into_one_trace(self):
+        from repro.core.sequence import SequenceDatabase
+        from repro.engine import ProcessPoolBackend
+        from repro.rules.nonredundant_miner import mine_non_redundant_rules
+
+        collector = tracing.install()
+        db = SequenceDatabase.from_sequences(
+            [["a", "b"], ["a", "b"], ["a", "c"], ["b", "c"]]
+        )
+        mine_non_redundant_rules(
+            db, min_s_support=2, min_confidence=0.5, backend=ProcessPoolBackend(workers=2)
+        )
+        entries = collector.snapshot()
+        execute = next(e for e in entries if e["name"] == "engine.execute")
+        shards = [e for e in entries if e["name"] == "engine.shard"]
+        assert shards, entries
+        # The worker-side spans were shipped back: they carry worker pids
+        # and the coordinator's trace id.
+        assert any(e["pid"] != os.getpid() for e in shards)
+        assert all(e["trace"] == execute["trace"] for e in shards)
 
 
 class TestJsonlFile:
@@ -139,3 +289,35 @@ class TestCliPlumbing:
         assert rows[0]["name"] == "daemon.cycle"  # sorted by total desc
         assert rows[1]["count"] == 2
         assert rows[1]["total"] == pytest.approx(1.0)
+
+    @staticmethod
+    def _load_tool():
+        import importlib.util
+        from pathlib import Path
+
+        spec = importlib.util.spec_from_file_location(
+            "trace_summary",
+            Path(__file__).resolve().parents[2] / "tools" / "trace_summary.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_trace_summary_tolerates_empty_file(self, tmp_path, capsys):
+        module = self._load_tool()
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        assert module.main([str(path)]) == 0
+        assert "0 spans, 0 distinct names" in capsys.readouterr().out
+
+    def test_trace_summary_tolerates_torn_final_line(self, tmp_path, capsys):
+        """A crash can tear the last line mid-way through a multibyte
+        UTF-8 sequence; the valid prefix must still summarise."""
+        module = self._load_tool()
+        path = tmp_path / "torn.jsonl"
+        good = json.dumps({"name": "engine.shard", "ts": 1.0, "dur": 0.5, "pid": 1})
+        torn = json.dumps({"name": "daemon.cycle", "attrs": {"file": "tracé"}})
+        payload = (good + "\n" + torn).encode("utf-8")[:-4]  # tear inside "é"…
+        path.write_bytes(payload)
+        assert module.main([str(path)]) == 0
+        assert "1 spans, 1 distinct names" in capsys.readouterr().out

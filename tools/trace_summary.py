@@ -32,12 +32,14 @@ from typing import Dict, List
 def load_spans(paths: List[str]) -> List[dict]:
     """Read span entries, skipping torn or foreign lines.
 
-    A crash mid-write can tear the last line; a span file is diagnostics,
-    so a bad line is skipped silently rather than failing the summary.
+    A crash mid-write can tear the last line — possibly inside a multibyte
+    UTF-8 sequence; a span file is diagnostics, so a bad line is skipped
+    silently (and torn bytes replaced) rather than failing the summary.
+    An empty file is an empty summary, not an error.
     """
     spans: List[dict] = []
     for path in paths:
-        with open(path, "r", encoding="utf-8") as handle:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
             for line in handle:
                 line = line.strip()
                 if not line:
